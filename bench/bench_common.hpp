@@ -1,0 +1,58 @@
+// Shared scaffolding for the experiment benches: the paper's default
+// workload (2 real apps + 28 synthetic, Sec. V-A), run configs, and table
+// rendering with paper-reference columns for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/table.hpp"
+#include "testbed/experiment.hpp"
+#include "workload/app_generator.hpp"
+#include "workload/real_apps.hpp"
+
+namespace ape::bench {
+
+inline constexpr std::uint64_t kSeed = 20240704;
+
+// The paper's 30-app suite: MovieTrailer + VirtualHome + 28 generated apps.
+inline std::vector<workload::AppSpec> paper_workload(std::size_t app_count = 30,
+                                                     std::size_t max_object_kb = 100,
+                                                     std::uint64_t seed = kSeed) {
+  std::vector<workload::AppSpec> apps;
+  if (app_count >= 1) apps.push_back(workload::make_movie_trailer());
+  if (app_count >= 2) apps.push_back(workload::make_virtual_home());
+  if (app_count > 2) {
+    workload::GeneratorParams params;
+    params.app_count = app_count - 2;
+    params.max_object_bytes = max_object_kb * 1000;
+    sim::Rng rng(seed);
+    auto dummies = workload::generate_apps(params, rng);
+    for (auto& app : dummies) apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+inline testbed::WorkloadConfig paper_config(double freq_per_min = 3.0,
+                                            double duration_minutes = 60.0) {
+  testbed::WorkloadConfig config;
+  config.mean_freq_per_min = freq_per_min;
+  config.duration = sim::minutes(duration_minutes);
+  config.seed = kSeed;
+  return config;
+}
+
+inline void print_header(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n\n", note.c_str());
+}
+
+}  // namespace ape::bench

@@ -1,0 +1,44 @@
+// Fig. 12: average and tail (p95) app-level latency of the two real-world
+// apps — MovieTrailer and VirtualHome — under all four systems (paper
+// Sec. V-D).
+#include "bench_common.hpp"
+
+using namespace ape;
+
+int main() {
+  bench::print_header("Fig. 12 — Real-world apps' Latency Performance",
+                      "paper Fig. 12 (Sec. V-D)");
+
+  const std::vector<testbed::System> systems{
+      testbed::System::ApeCache, testbed::System::ApeCacheLru, testbed::System::WiCache,
+      testbed::System::EdgeCache};
+
+  for (const auto& app : {workload::make_movie_trailer(), workload::make_virtual_home()}) {
+    std::printf("--- %s ---\n", app.name.c_str());
+    stats::Table table;
+    table.header({"System", "avg ms", "p95 ms", "runs"});
+    double ape_avg = 0, ape_p95 = 0, edge_avg = 0, edge_p95 = 0;
+    for (testbed::System system : systems) {
+      const std::vector<workload::AppSpec> apps{app};
+      const auto result = testbed::run_system(system, testbed::TestbedParams{}, apps,
+                                              bench::paper_config(3.0, 60.0));
+      const double avg = result.app_latency_ms.mean();
+      const double p95 = result.app_latency_ms.percentile(0.95);
+      if (system == testbed::System::ApeCache) {
+        ape_avg = avg;
+        ape_p95 = p95;
+      }
+      if (system == testbed::System::EdgeCache) {
+        edge_avg = avg;
+        edge_p95 = p95;
+      }
+      table.row({to_string(system), stats::Table::num(avg, 1), stats::Table::num(p95, 1),
+                 std::to_string(result.app_runs)});
+    }
+    table.print(std::cout);
+    std::printf("APE-CACHE vs Edge Cache: avg -%.0f%%, p95 -%.0f%%  "
+                "(paper: ~-78%% avg, ~-76%% tail)\n\n",
+                (1.0 - ape_avg / edge_avg) * 100.0, (1.0 - ape_p95 / edge_p95) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 13: average app-level latency of all 30 apps under the four
+// systems, sweeping (a) object size, (b) usage frequency, (c) app
+// quantity (paper Sec. V-D).
+#include "bench_common.hpp"
+
+using namespace ape;
+
+namespace {
+
+const std::vector<testbed::System> kSystems{
+    testbed::System::ApeCache, testbed::System::ApeCacheLru, testbed::System::WiCache,
+    testbed::System::EdgeCache};
+
+double run_point(testbed::System system, std::size_t apps, std::size_t max_kb, double freq) {
+  const auto workload = bench::paper_workload(apps, max_kb);
+  const auto result = testbed::run_system(system, testbed::TestbedParams{}, workload,
+                                          bench::paper_config(freq, 45.0));
+  return result.app_latency_ms.mean();
+}
+
+template <typename T, typename Fn>
+void sweep(const std::string& title, const std::string& expectation,
+           const std::vector<T>& xs, Fn point, const std::string& x_label) {
+  std::printf("--- %s ---\n", title.c_str());
+  stats::Table table;
+  table.header({x_label, "APE-CACHE", "APE-CACHE-LRU", "Wi-Cache", "Edge Cache"});
+  for (const T& x : xs) {
+    std::vector<std::string> row{[&] {
+      if constexpr (std::is_floating_point_v<T>) {
+        return stats::Table::num(x, 1);
+      } else {
+        return std::to_string(x);
+      }
+    }()};
+    for (testbed::System system : kSystems) row.push_back(stats::Table::num(point(system, x), 1));
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("paper: %s\n\n", expectation.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 13 — Average App-Level Latency Under Various Settings",
+                      "paper Fig. 13a/13b/13c (Sec. V-D)");
+
+  sweep<std::size_t>(
+      "Fig. 13a: latency (ms) vs data object size",
+      "latency grows with object size everywhere; APE-CACHE lowest across the board",
+      {100, 200, 300, 400, 500},
+      [](testbed::System s, std::size_t kb) { return run_point(s, 30, kb, 3.0); },
+      "max kB");
+
+  sweep<double>(
+      "Fig. 13b: latency (ms) vs app usage frequency",
+      "higher frequency -> better hit ratios -> lower latency for the AP-cached systems",
+      {1.0, 1.5, 2.0, 2.5, 3.0},
+      [](testbed::System s, double f) { return run_point(s, 30, 100, f); },
+      "freq/min");
+
+  sweep<std::size_t>(
+      "Fig. 13c: latency (ms) vs app quantity",
+      "latency rises with app count as cache pressure grows; at the default point the "
+      "paper reports APE 30 / APE-LRU 42 / Wi-Cache 54 / Edge 122 ms (-29%/-44%/-76%)",
+      {5, 10, 15, 20, 25, 30},
+      [](testbed::System s, std::size_t n) { return run_point(s, n, 100, 3.0); },
+      "apps");
+
+  // Headline numbers at the default setting.
+  const double ape = run_point(testbed::System::ApeCache, 30, 100, 3.0);
+  const double lru = run_point(testbed::System::ApeCacheLru, 30, 100, 3.0);
+  const double wic = run_point(testbed::System::WiCache, 30, 100, 3.0);
+  const double edge = run_point(testbed::System::EdgeCache, 30, 100, 3.0);
+  std::printf("default setting: APE %.1f / APE-LRU %.1f / Wi-Cache %.1f / Edge %.1f ms\n",
+              ape, lru, wic, edge);
+  std::printf("reductions: vs APE-LRU %.0f%% (paper 29%%), vs Wi-Cache %.0f%% (paper 44%%), "
+              "vs Edge %.0f%% (paper 76%%)\n",
+              (1 - ape / lru) * 100, (1 - ape / wic) * 100, (1 - ape / edge) * 100);
+  return 0;
+}

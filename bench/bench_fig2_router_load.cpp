@@ -1,0 +1,56 @@
+// Fig. 2: CPU and memory utilization of the WiFi router while replaying
+// the low-rate and high-rate traffic captures (paper Sec. II-C).
+//
+// The synthetic traces (Table II statistics) are replayed into the AP's
+// packet-forwarding path; the resource meter samples utilization every
+// 10 seconds for the 5-minute replay.
+#include "bench_common.hpp"
+#include "workload/traffic_trace.hpp"
+
+namespace {
+
+void replay(const ape::workload::TraceSpec& spec) {
+  using namespace ape;
+
+  testbed::TestbedParams params;
+  params.system = testbed::System::ApeCache;
+  testbed::Testbed bed(params);
+
+  sim::Rng rng(bench::kSeed);
+  const auto packets = workload::generate_trace(spec, rng);
+  // Per-flow NAT/conntrack state for the active flow population.
+  workload::replay_trace(packets, bed.ap(), bed.simulator());
+
+  auto& meter = bed.meter_ap(sim::seconds(10.0), sim::Time{spec.duration});
+  bed.simulator().run();
+
+  std::printf("--- %s traffic (%zu pkts, %zu flows, %zu apps) ---\n", spec.name.c_str(),
+              spec.packets, spec.flows, spec.app_count);
+  stats::Table table;
+  table.header({"t (s)", "CPU %", "Memory MB"});
+  for (const auto& s : meter.samples()) {
+    table.row({stats::Table::num(s.at.seconds(), 0),
+               stats::Table::num(s.cpu_utilization * 100.0, 1),
+               stats::Table::num(s.memory_mb, 1)});
+  }
+  table.print(std::cout);
+  std::printf("mean CPU %.1f%%  peak CPU %.1f%%  mean mem %.1f MB  peak mem %.1f MB\n\n",
+              meter.mean_cpu() * 100.0, meter.peak_cpu() * 100.0, meter.mean_memory_mb(),
+              meter.peak_memory_mb());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ape;
+  bench::print_header("Fig. 2 — CPU/Memory Usage of WiFi Router under traffic replay",
+                      "paper Fig. 2 (Sec. II-C feasibility study)");
+
+  replay(workload::low_rate_trace());
+  replay(workload::high_rate_trace());
+
+  bench::print_note(
+      "Paper findings to match: memory hovers near ~120 MB under high traffic, CPU stays "
+      "well below 50%, leaving headroom for AP-side caching.");
+  return 0;
+}

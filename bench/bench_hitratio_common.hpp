@@ -1,0 +1,34 @@
+// Shared machinery for the Tables IV/V/VI hit-ratio sweeps: run the same
+// workload under PACM (APE-CACHE) and LRU (APE-CACHE-LRU) and report the
+// average and high-priority hit ratios.
+#pragma once
+
+#include "bench_common.hpp"
+
+namespace ape::bench {
+
+struct HitRatioRow {
+  double pacm_avg = 0.0;
+  double pacm_high = 0.0;
+  double lru_avg = 0.0;
+  double lru_high = 0.0;
+};
+
+inline HitRatioRow hit_ratio_point(std::size_t app_count, std::size_t max_object_kb,
+                                   double freq_per_min, double duration_minutes = 60.0) {
+  const auto apps = paper_workload(app_count, max_object_kb);
+  const auto config = paper_config(freq_per_min, duration_minutes);
+
+  const auto pacm =
+      testbed::run_system(testbed::System::ApeCache, testbed::TestbedParams{}, apps, config);
+  const auto lru = testbed::run_system(testbed::System::ApeCacheLru,
+                                       testbed::TestbedParams{}, apps, config);
+  HitRatioRow row;
+  row.pacm_avg = pacm.hit_ratio();
+  row.pacm_high = pacm.high_priority_hit_ratio();
+  row.lru_avg = lru.hit_ratio();
+  row.lru_high = lru.high_priority_hit_ratio();
+  return row;
+}
+
+}  // namespace ape::bench

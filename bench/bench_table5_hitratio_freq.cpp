@@ -1,0 +1,35 @@
+// Table V: cache hit ratio vs average app usage frequency (paper Sec. V-C).
+// 30 apps, objects 1-100 kB, 5 MB AP cache, one hour; frequency swept
+// 1..3 runs/minute.
+#include "bench_hitratio_common.hpp"
+
+int main() {
+  using namespace ape;
+  bench::print_header("Table V — Cache Hit Ratio vs. Avg. App Usage Frequency",
+                      "paper Table V (Sec. V-C, PACM vs LRU)");
+
+  struct PaperRow {
+    double avg, high, lru;
+  };
+  const std::vector<std::pair<double, PaperRow>> sweeps{
+      {1.0, {0.507, 0.743, 0.512}}, {1.5, {0.563, 0.766, 0.566}},
+      {2.0, {0.626, 0.774, 0.625}}, {2.5, {0.627, 0.810, 0.628}},
+      {3.0, {0.632, 0.832, 0.631}},
+  };
+
+  stats::Table table;
+  table.header({"Avg. frequency", "PACM-Avg", "(paper)", "PACM-High", "(paper)", "LRU",
+                "(paper)"});
+  for (const auto& [freq, paper] : sweeps) {
+    const auto row = bench::hit_ratio_point(/*apps=*/30, /*max_kb=*/100, freq);
+    table.row({stats::Table::num(freq, 1), stats::Table::num(row.pacm_avg, 3),
+               stats::Table::num(paper.avg, 3), stats::Table::num(row.pacm_high, 3),
+               stats::Table::num(paper.high, 3), stats::Table::num(row.lru_avg, 3),
+               stats::Table::num(paper.lru, 3)});
+  }
+  table.print(std::cout);
+  bench::print_note(
+      "Expected shape: lower frequency lets objects expire between uses, mildly lowering "
+      "hit ratios; PACM-High stays well above LRU across the sweep.");
+  return 0;
+}

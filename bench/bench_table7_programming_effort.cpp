@@ -1,0 +1,51 @@
+// Table VII: programming-effort comparison between the declarative
+// annotation model and the API-based alternative (paper Sec. V-F).
+//
+// Impacted LoC for the annotation model = one @Cacheable line per object;
+// for the API model every HTTP request site touching a cacheable object is
+// rewritten (~3 lines each: the call plus priority/TTL plumbing).  Request
+// site counts mirror the evaluated apps.
+#include "bench_common.hpp"
+
+#include "core/programming_model.hpp"
+
+using namespace ape;
+
+int main() {
+  bench::print_header("Table VII — Programming Efforts Comparison",
+                      "paper Table VII (Sec. V-F)");
+
+  struct AppCase {
+    workload::AppSpec spec;
+    std::size_t request_sites;  // HTTP call sites touching cacheable objects
+    std::size_t paper_annotation_locs;
+    std::size_t paper_api_locs;
+  };
+  const std::vector<AppCase> cases{
+      {workload::make_movie_trailer(), 10, 5, 30},
+      {workload::make_virtual_home(), 5, 2, 14},
+  };
+
+  stats::Table table;
+  table.header({"App", "Approach", "Impacted LoCs (ours)", "(paper)", "Re-write logic"});
+  for (const auto& c : cases) {
+    core::AnnotatedApp annotated(c.spec.name, c.spec.id);
+    for (const auto& r : c.spec.requests) {
+      annotated.cacheable_field(r.name, r.url, r.priority, r.ttl_minutes);
+    }
+    const auto effort = core::measure_effort(annotated, c.request_sites);
+    table.row({c.spec.name, "APE-CACHE (annotations)",
+               std::to_string(effort.annotation_locs),
+               std::to_string(c.paper_annotation_locs), "No"});
+    table.row({c.spec.name, "API-based", std::to_string(effort.api_locs),
+               std::to_string(c.paper_api_locs), "Yes"});
+  }
+  table.print(std::cout);
+
+  bench::print_note(
+      "Both models add the same ~32 kB runtime to the app binary (the modified HTTP client "
+      "library); only the annotation model leaves the application logic untouched.  "
+      "VirtualHome's two annotations match the paper exactly; MovieTrailer declares one "
+      "annotation per cacheable field (5) vs the paper's 5 impacted lines.");
+  return 0;
+}

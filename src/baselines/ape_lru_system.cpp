@@ -1,0 +1,3 @@
+#include "baselines/ape_lru_system.hpp"
+
+// Header-only facade; this TU anchors the target.

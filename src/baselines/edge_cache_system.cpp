@@ -1,0 +1,3 @@
+#include "baselines/edge_cache_system.hpp"
+
+// Header-only facade; this TU anchors the target.

@@ -1,0 +1,25 @@
+// "Edge Cache" baseline (paper Sec. V-A): the status quo — cacheable data
+// lives only on the edge server and is reached by resolving the server's
+// domain name, every fetch paying the DNS + WAN round trip.
+#pragma once
+
+#include "baselines/system_interface.hpp"
+
+namespace ape::baselines {
+
+class EdgeCacheFetcher final : public ObjectFetcher {
+ public:
+  explicit EdgeCacheFetcher(core::ClientRuntime& runtime) : runtime_(runtime) {}
+
+  void fetch_object(const std::string& url,
+                    core::ClientRuntime::FetchHandler handler) override {
+    runtime_.fetch_via_edge(url, std::move(handler));
+  }
+
+  [[nodiscard]] std::string system_name() const override { return "Edge Cache"; }
+
+ private:
+  core::ClientRuntime& runtime_;
+};
+
+}  // namespace ape::baselines

@@ -1,0 +1,18 @@
+// Uniform facade the app driver fetches objects through, so the four
+// evaluated systems (APE-CACHE, APE-CACHE-LRU, Wi-Cache, Edge Cache) are
+// interchangeable in every experiment.
+#pragma once
+
+#include "core/client_runtime.hpp"
+
+namespace ape::baselines {
+
+class ObjectFetcher {
+ public:
+  virtual ~ObjectFetcher() = default;
+  virtual void fetch_object(const std::string& url,
+                            core::ClientRuntime::FetchHandler handler) = 0;
+  [[nodiscard]] virtual std::string system_name() const = 0;
+};
+
+}  // namespace ape::baselines

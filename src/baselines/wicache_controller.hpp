@@ -1,0 +1,87 @@
+// Wi-Cache (Chhangte et al., IEEE TNSM'21), adapted per the paper's
+// Sec. V-A: a *centralized cache controller* (an EC2 instance 12 hops from
+// the AP in Fig. 9) that every cache request consults first, plus an AP
+// agent holding an LRU-managed object cache.
+//
+// Wire protocol (UDP, line-oriented text — Wi-Cache's control plane is
+// bespoke, not DNS):
+//   client -> controller :5300   "LOOKUP <seq> <url>"
+//   controller -> client         "<seq> AP\n"         (fetch from the AP agent)
+//                                "<seq> EDGE <ip>\n"  (fetch from the edge)
+//   controller -> agent  :5301   "PREFETCH <url> <edge-ip>"
+//   agent -> controller  :5300   "ADD <key>" / "REMOVE <key>"
+//
+// On a registry miss the controller directs the client to the edge and
+// asynchronously instructs the AP agent to fetch-and-cache the object so
+// later requests hit — the adapted population path for small objects.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/cache_stats.hpp"
+#include "cache/object_store.hpp"
+#include "http/endpoint.hpp"
+#include "net/network.hpp"
+
+namespace ape::baselines {
+
+inline constexpr net::Port kWiCacheControllerPort = 5300;
+inline constexpr net::Port kWiCacheAgentControlPort = 5301;
+inline constexpr net::Port kWiCacheAgentHttpPort = 8080;
+
+class WiCacheController {
+ public:
+  WiCacheController(net::Network& network, net::NodeId node, sim::ServiceQueue& cpu,
+                    net::Endpoint agent_control, net::IpAddress ap_http_ip,
+                    net::IpAddress edge_ip);
+  ~WiCacheController();
+
+  [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::size_t registry_size() const noexcept { return registry_.size(); }
+  [[nodiscard]] cache::CacheStatistics& stats() noexcept { return stats_; }
+
+ private:
+  void on_datagram(const net::Datagram& dgram);
+  void handle_lookup(std::uint64_t seq, const std::string& url, net::Endpoint client);
+
+  net::Network& network_;
+  net::NodeId node_;
+  sim::ServiceQueue& cpu_;
+  net::Endpoint agent_control_;
+  net::IpAddress ap_http_ip_;
+  net::IpAddress edge_ip_;
+  std::unordered_set<std::string> registry_;          // keys cached at the AP
+  std::unordered_set<std::string> prefetch_inflight_; // avoid duplicate instructions
+  cache::CacheStatistics stats_;
+  std::size_t lookups_ = 0;
+};
+
+class WiCacheApAgent {
+ public:
+  WiCacheApAgent(net::Network& network, net::TcpTransport& tcp, net::NodeId node,
+                 sim::ServiceQueue& cpu, std::size_t capacity_bytes,
+                 net::Endpoint controller);
+  ~WiCacheApAgent();
+
+  [[nodiscard]] const cache::CacheStore& store() const noexcept { return store_; }
+  [[nodiscard]] std::size_t prefetches() const noexcept { return prefetches_; }
+
+ private:
+  void on_control(const net::Datagram& dgram);
+  void prefetch(const std::string& url, net::IpAddress edge_ip);
+  void serve(const http::HttpRequest& request, http::HttpServer::Responder respond);
+  void report(const std::string& action, const std::string& key);
+
+  net::Network& network_;
+  net::NodeId node_;
+  sim::ServiceQueue& cpu_;
+  cache::CacheStore store_;
+  http::HttpServer http_;
+  http::HttpClient edge_client_;
+  net::Endpoint controller_;
+  std::size_t prefetches_ = 0;
+};
+
+}  // namespace ape::baselines

@@ -1,0 +1,127 @@
+#include "baselines/wicache_system.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace ape::baselines {
+
+namespace {
+constexpr sim::Duration kLookupTimeout = sim::milliseconds(3000);
+}
+
+WiCacheFetcher::WiCacheFetcher(net::Network& network, net::TcpTransport& tcp,
+                               net::NodeId node, net::Port udp_port,
+                               net::Endpoint controller, net::IpAddress ap_ip)
+    : network_(network),
+      node_(node),
+      udp_port_(udp_port),
+      controller_(controller),
+      ap_ip_(ap_ip),
+      http_(tcp, node) {
+  network_.bind_udp(node_, udp_port_, [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+WiCacheFetcher::~WiCacheFetcher() {
+  network_.unbind_udp(node_, udp_port_);
+}
+
+void WiCacheFetcher::fetch_object(const std::string& url,
+                                  core::ClientRuntime::FetchHandler handler) {
+  const std::uint64_t seq = next_seq_++;
+  PendingLookup pending;
+  pending.url = url;
+  pending.handler = std::move(handler);
+  pending.start = network_.simulator().now();
+  pending.timeout_event = network_.simulator().schedule_in(kLookupTimeout, [this, seq] {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    core::ClientRuntime::FetchResult r;
+    r.error = "Wi-Cache controller lookup timed out";
+    auto h = std::move(it->second.handler);
+    pending_.erase(it);
+    h(std::move(r));
+  });
+  pending_.emplace(seq, std::move(pending));
+
+  const std::string msg = "LOOKUP " + std::to_string(seq) + " " + url;
+  network_.send_datagram(node_, udp_port_, controller_, net::Payload(msg.begin(), msg.end()));
+}
+
+void WiCacheFetcher::on_datagram(const net::Datagram& dgram) {
+  std::istringstream in(std::string(dgram.payload.begin(), dgram.payload.end()));
+  std::uint64_t seq = 0;
+  std::string verdict;
+  in >> seq >> verdict;
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+
+  network_.simulator().cancel(it->second.timeout_event);
+  PendingLookup pending = std::move(it->second);
+  pending_.erase(it);
+  const sim::Duration lookup = network_.simulator().now() - pending.start;
+
+  if (verdict == "AP") {
+    fetch_http(pending.url, net::Endpoint{ap_ip_, kWiCacheAgentHttpPort}, true,
+               net::IpAddress{}, pending.start, lookup, std::move(pending.handler));
+    return;
+  }
+  std::string ip_text;
+  in >> ip_text;
+  auto edge_ip = net::IpAddress::parse(ip_text);
+  if (verdict != "EDGE" || !edge_ip) {
+    core::ClientRuntime::FetchResult r;
+    r.lookup_latency = lookup;
+    r.error = "Wi-Cache controller sent a malformed verdict";
+    pending.handler(std::move(r));
+    return;
+  }
+  fetch_http(pending.url, net::Endpoint{edge_ip.value(), net::kHttpPort}, false,
+             net::IpAddress{}, pending.start, lookup, std::move(pending.handler));
+}
+
+void WiCacheFetcher::fetch_http(const std::string& url, net::Endpoint server, bool from_ap,
+                                net::IpAddress /*edge_fallback*/, sim::Time start,
+                                sim::Duration lookup,
+                                core::ClientRuntime::FetchHandler handler) {
+  auto parsed = http::Url::parse(url);
+  if (!parsed) {
+    core::ClientRuntime::FetchResult r;
+    r.error = "bad URL";
+    handler(std::move(r));
+    return;
+  }
+  http::HttpRequest req;
+  req.url = std::move(parsed.value());
+  const sim::Time fetch_start = network_.simulator().now();
+  http_.fetch(server, std::move(req),
+              [this, url, from_ap, start, lookup, fetch_start,
+               handler = std::move(handler)](Result<http::HttpResponse> result,
+                                             http::FetchTiming) mutable {
+                const sim::Time now = network_.simulator().now();
+                if (from_ap && (!result || !result.value().ok())) {
+                  // Controller registry was stale (eviction race): the
+                  // paper's configuration redirects to the edge.  Re-consult
+                  // the controller, which now reports EDGE.
+                  fetch_object(url, std::move(handler));
+                  return;
+                }
+                core::ClientRuntime::FetchResult r;
+                r.lookup_latency = lookup;
+                r.retrieval_latency = now - fetch_start;
+                r.total = now - start;
+                if (!result) {
+                  r.error = result.error().message;
+                } else if (!result.value().ok()) {
+                  r.error = "HTTP " + std::to_string(result.value().status);
+                } else {
+                  r.success = true;
+                  r.source = from_ap ? core::ClientRuntime::Source::ApCache
+                                     : core::ClientRuntime::Source::EdgeServer;
+                  r.flag = from_ap ? core::CacheFlag::CacheHit : core::CacheFlag::CacheMiss;
+                  r.bytes = result.value().total_body_bytes();
+                }
+                handler(std::move(r));
+              });
+}
+
+}  // namespace ape::baselines

@@ -1,0 +1,46 @@
+// Client-side Wi-Cache fetcher: every object fetch first consults the
+// central controller (one WAN round trip — the lookup cost Fig. 11a shows
+// exceeding 22 ms), then retrieves from the AP agent or the edge.
+#pragma once
+
+#include "baselines/system_interface.hpp"
+#include "baselines/wicache_controller.hpp"
+
+namespace ape::baselines {
+
+class WiCacheFetcher final : public ObjectFetcher {
+ public:
+  WiCacheFetcher(net::Network& network, net::TcpTransport& tcp, net::NodeId node,
+                 net::Port udp_port, net::Endpoint controller, net::IpAddress ap_ip);
+  ~WiCacheFetcher() override;
+
+  void fetch_object(const std::string& url,
+                    core::ClientRuntime::FetchHandler handler) override;
+
+  [[nodiscard]] std::string system_name() const override { return "Wi-Cache"; }
+
+ private:
+  struct PendingLookup {
+    std::string url;
+    core::ClientRuntime::FetchHandler handler;
+    sim::Time start{};
+    sim::Simulator::EventId timeout_event = 0;
+  };
+
+  void on_datagram(const net::Datagram& dgram);
+  void fetch_http(const std::string& url, net::Endpoint server, bool from_ap,
+                  net::IpAddress edge_fallback, sim::Time start, sim::Duration lookup,
+                  core::ClientRuntime::FetchHandler handler);
+
+  net::Network& network_;
+  net::NodeId node_;
+  net::Port udp_port_;
+  net::Endpoint controller_;
+  net::IpAddress ap_ip_;
+  http::HttpClient http_;
+  // One lookup in flight at a time per sequence number.
+  std::unordered_map<std::uint64_t, PendingLookup> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace ape::baselines

@@ -1,0 +1,7 @@
+#include "cache/block_list.hpp"
+
+namespace ape::cache {
+
+BlockList::BlockList(std::size_t size_threshold_bytes) : threshold_(size_threshold_bytes) {}
+
+}  // namespace ape::cache

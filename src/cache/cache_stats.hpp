@@ -1,0 +1,36 @@
+// Hit/miss accounting, split by priority class — Tables IV-VI report both
+// the average hit ratio and the hit ratio restricted to high-priority
+// objects.
+#pragma once
+
+#include <cstddef>
+
+namespace ape::cache {
+
+class CacheStatistics {
+ public:
+  void record_hit(int priority);
+  void record_miss(int priority);
+  void record_delegation(int priority);
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_ + delegations_; }
+  [[nodiscard]] std::size_t delegations() const noexcept { return delegations_; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return hits_ + misses_ + delegations_; }
+
+  // Hit ratio over all lookups; 0 when no lookups yet.
+  [[nodiscard]] double hit_ratio() const noexcept;
+  // Hit ratio over lookups for high-priority (>= 2) objects only.
+  [[nodiscard]] double high_priority_hit_ratio() const noexcept;
+
+  void reset();
+
+ private:
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t delegations_ = 0;
+  std::size_t high_hits_ = 0;
+  std::size_t high_lookups_ = 0;
+};
+
+}  // namespace ape::cache

@@ -1,0 +1,36 @@
+#include "cache/fifo_policy.hpp"
+
+namespace ape::cache {
+
+void FifoPolicy::on_insert(const CacheEntry& entry) {
+  erased_.erase(entry.key);
+  order_.push_back(entry.key);
+}
+
+void FifoPolicy::on_erase(const std::string& key) {
+  erased_.insert(key);
+}
+
+std::optional<std::vector<std::string>> FifoPolicy::select_victims(const CacheStore& store,
+                                                                   const CacheEntry& /*incoming*/,
+                                                                   std::size_t bytes_needed) {
+  // Compact lazily-removed keys off the front as we scan.
+  while (!order_.empty() && erased_.contains(order_.front())) {
+    erased_.erase(order_.front());
+    order_.pop_front();
+  }
+  std::vector<std::string> victims;
+  std::size_t freed = 0;
+  for (const auto& key : order_) {
+    if (freed >= bytes_needed) break;
+    if (erased_.contains(key)) continue;
+    const CacheEntry* entry = store.lookup_any(key);
+    if (entry == nullptr) continue;
+    freed += entry->size_bytes;
+    victims.push_back(key);
+  }
+  if (freed < bytes_needed) return std::nullopt;
+  return victims;
+}
+
+}  // namespace ape::cache

@@ -1,0 +1,44 @@
+#include "cache/lru_policy.hpp"
+
+namespace ape::cache {
+
+void LruPolicy::touch(const std::string& key) {
+  if (auto it = index_.find(key); it != index_.end()) {
+    order_.erase(it->second);
+  }
+  order_.push_front(key);
+  index_[key] = order_.begin();
+}
+
+void LruPolicy::on_insert(const CacheEntry& entry) {
+  touch(entry.key);
+}
+
+void LruPolicy::on_access(const CacheEntry& entry) {
+  touch(entry.key);
+}
+
+void LruPolicy::on_erase(const std::string& key) {
+  if (auto it = index_.find(key); it != index_.end()) {
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+}
+
+std::optional<std::vector<std::string>> LruPolicy::select_victims(const CacheStore& store,
+                                                                  const CacheEntry& /*incoming*/,
+                                                                  std::size_t bytes_needed) {
+  std::vector<std::string> victims;
+  std::size_t freed = 0;
+  // Walk from the least recently used end.
+  for (auto it = order_.rbegin(); it != order_.rend() && freed < bytes_needed; ++it) {
+    const CacheEntry* entry = store.lookup_any(*it);
+    if (entry == nullptr) continue;  // store/index drift should not happen
+    freed += entry->size_bytes;
+    victims.push_back(*it);
+  }
+  if (freed < bytes_needed) return std::nullopt;  // cannot free enough
+  return victims;
+}
+
+}  // namespace ape::cache

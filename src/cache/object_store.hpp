@@ -1,0 +1,105 @@
+// Capacity-bounded object store with pluggable eviction.
+//
+// The store enforces the byte budget; the policy chooses victims.  PACM
+// (core/pacm_policy) and LRU/FIFO/LFU (here) implement the same interface,
+// which is what lets the evaluation swap cache-management algorithms while
+// keeping every other moving part identical (paper Sec. V-C).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/entry.hpp"
+
+namespace ape::cache {
+
+class CacheStore;
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual void on_insert(const CacheEntry& entry) = 0;
+  virtual void on_access(const CacheEntry& entry) = 0;
+  virtual void on_erase(const std::string& key) = 0;
+
+  // Chooses keys to evict so that `bytes_needed` become free for
+  // `incoming`.  Returning nullopt rejects the insertion instead (the
+  // incoming object is judged not worth the evictions).  The store
+  // guarantees `incoming.size_bytes <= capacity`.
+  [[nodiscard]] virtual std::optional<std::vector<std::string>> select_victims(
+      const CacheStore& store, const CacheEntry& incoming, std::size_t bytes_needed) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class CacheStore {
+ public:
+  CacheStore(std::size_t capacity_bytes, std::unique_ptr<EvictionPolicy> policy);
+
+  enum class InsertOutcome { Inserted, Rejected, TooLarge };
+
+  // Inserts (replacing any same-key entry), evicting per policy if needed.
+  InsertOutcome insert(CacheEntry entry, sim::Time now);
+
+  // Valid (unexpired) lookup; records the access. Expired entries are
+  // erased lazily here.
+  [[nodiscard]] const CacheEntry* get(const std::string& key, sim::Time now);
+  // Lookup without access side effects (for cache-status probes).
+  [[nodiscard]] const CacheEntry* peek(const std::string& key, sim::Time now) const;
+  // Lookup ignoring expiry (policy bookkeeping needs entry sizes even when
+  // an entry happens to be stale).
+  [[nodiscard]] const CacheEntry* lookup_any(const std::string& key) const;
+
+  bool erase(const std::string& key);
+  // Drops every expired entry; returns bytes reclaimed.
+  std::size_t sweep_expired(sim::Time now);
+  void clear();
+
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_; }
+  [[nodiscard]] std::size_t free_bytes() const noexcept { return capacity_ - used_; }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+
+  void for_each(const std::function<void(const CacheEntry&)>& fn) const;
+  [[nodiscard]] std::vector<const CacheEntry*> entries() const;
+
+  [[nodiscard]] const EvictionPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] EvictionPolicy& policy() noexcept { return *policy_; }
+
+  [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::size_t rejections() const noexcept { return rejections_; }
+
+  // Fires for every entry that leaves the store (eviction, expiry sweep,
+  // replacement, explicit erase).  Wi-Cache uses this to keep its central
+  // controller's registry in sync with the AP's cache.
+  void set_removal_listener(std::function<void(const CacheEntry&)> listener) {
+    removal_listener_ = std::move(listener);
+  }
+
+  // When set, inserts do not eagerly sweep expired entries; stale copies
+  // stay resident (still invisible to get/peek) until capacity pressure
+  // evicts them — the revalidation extension refreshes them with
+  // conditional requests instead of full refetches.
+  void set_retain_expired(bool retain) noexcept { retain_expired_ = retain; }
+  [[nodiscard]] bool retain_expired() const noexcept { return retain_expired_; }
+
+ private:
+  void erase_internal(const std::string& key);
+
+  std::function<void(const CacheEntry&)> removal_listener_;
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_map<std::string, CacheEntry> entries_;
+  std::size_t evictions_ = 0;
+  std::size_t rejections_ = 0;
+  bool retain_expired_ = false;
+};
+
+}  // namespace ape::cache

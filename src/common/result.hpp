@@ -1,0 +1,59 @@
+// Lightweight expected-style result for parse/codec paths.
+//
+// Wire decoding of attacker-controlled bytes (DNS messages, URLs) must not
+// throw across module boundaries; it returns Result<T> instead.  We do not
+// use std::expected to stay friendly to older toolchains found on embedded
+// router SDKs (the deployment target the paper cares about).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ape {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Error error) : value_(std::move(error)) {}        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+template <typename T>
+[[nodiscard]] Result<T> make_error(std::string message) {
+  return Result<T>(Error{std::move(message)});
+}
+
+}  // namespace ape

@@ -1,0 +1,446 @@
+#include "core/ap_runtime.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "cache/fifo_policy.hpp"
+#include "cache/gdsf_policy.hpp"
+#include "cache/lfu_policy.hpp"
+#include "cache/lru_policy.hpp"
+#include "core/pacm_policy.hpp"
+#include "core/url_hash.hpp"
+#include "http/origin_server.hpp"
+
+namespace ape::core {
+
+namespace {
+constexpr net::Port kApUpstreamPort = 41053;  // AP's socket toward the LDNS
+
+std::unique_ptr<cache::EvictionPolicy> make_policy(ApRuntime::Policy policy,
+                                                   const ApeConfig& config,
+                                                   const sim::Simulator& clock,
+                                                   const FrequencyTracker& freq) {
+  switch (policy) {
+    case ApRuntime::Policy::Pacm: return std::make_unique<PacmPolicy>(config, clock, freq);
+    case ApRuntime::Policy::Lru: return std::make_unique<cache::LruPolicy>();
+    case ApRuntime::Policy::Fifo: return std::make_unique<cache::FifoPolicy>();
+    case ApRuntime::Policy::Lfu: return std::make_unique<cache::LfuPolicy>();
+    case ApRuntime::Policy::Gdsf: return std::make_unique<cache::GdsfPolicy>();
+  }
+  return std::make_unique<cache::LruPolicy>();
+}
+}  // namespace
+
+ApRuntime::ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId node,
+                     Options options)
+    : network_(network),
+      tcp_(tcp),
+      node_(node),
+      options_(std::move(options)),
+      cpu_(network.simulator(), options_.cpu_cores),
+      freq_(options_.config.alpha, options_.config.frequency_window),
+      data_cache_(std::make_unique<cache::CacheStore>(
+          options_.config.cache_capacity_bytes,
+          make_policy(options_.policy, options_.config, network.simulator(), freq_))),
+      block_list_(options_.config.block_threshold_bytes),
+      upstream_(network, node, kApUpstreamPort),
+      edge_client_(tcp, node) {
+  data_cache_->set_retain_expired(options_.config.enable_revalidation);
+  dns_ = std::make_unique<Dns>(*this, network_, node_, cpu_, options_.config.dns_service_time);
+
+  http::ServiceCost cost;
+  cost.base = options_.config.http_service_base;
+  cost.per_kilobyte = options_.config.http_service_per_kb;
+  http_ = std::make_unique<http::HttpServer>(tcp_, node_, net::kHttpPort, cpu_, cost);
+  http_->set_fallback([this](const http::HttpRequest& req, net::Endpoint,
+                             http::HttpServer::Responder respond) {
+    handle_http(req, std::move(respond));
+  });
+}
+
+void ApRuntime::reset_cache() {
+  data_cache_->clear();
+  block_list_.clear();
+  stats_.reset();
+  url_index_.clear();
+  domain_hashes_.clear();
+}
+
+// ---------------------------------------------------------------- memory
+
+std::size_t ApRuntime::memory_bytes() const {
+  const ApeConfig& c = options_.config;
+  std::size_t total = c.base_memory_bytes;
+  total += flows_ * c.per_flow_bytes;
+  total += tcp_.server_connection_count(node_) * c.per_connection_bytes;
+  if (options_.enable_ape) {
+    total += c.runtime_memory_bytes;
+    total += data_cache_->used_bytes();
+    total += (url_index_.size() + block_list_.size()) * c.per_index_entry_bytes;
+  }
+  return total;
+}
+
+void ApRuntime::account_served_bytes(std::size_t bytes) {
+  // Userspace serve path: roughly 2x the kernel fast-path per-packet cost
+  // (socket write + copy + WiFi TX vs NAT forwarding) — about 7 MB/s per
+  // core, in line with userspace file serving on an MT7621-class SoC.
+  // Metered, not queued: the copy overlaps NIC DMA and never head-of-line
+  // blocks DNS/HTTP request handling.
+  const std::size_t packets = bytes / 1448 + 1;
+  cpu_.account(sim::microseconds(static_cast<std::int64_t>(packets) * 209));
+}
+
+void ApRuntime::forward_packet(std::size_t bytes, bool new_flow) {
+  // Software NAT forwarding on the MT7621A-class SoC (~14 MB/s per core):
+  // fixed lookup/NAT work plus a per-byte copy.  Calibrated so the Table II
+  // high-rate replay lands in the paper's "well below 50% CPU" band
+  // (Fig. 2) without starving the serving path in the Fig. 13 sweeps.
+  const sim::Duration cost =
+      sim::microseconds(100) + sim::microseconds(static_cast<std::int64_t>(bytes / 100));
+  cpu_.account(cost);  // softirq-overlapped: metered, never queued
+  if (new_flow) ++flows_;
+}
+
+// ------------------------------------------------------------------- DNS
+
+void ApRuntime::Dns::handle_query(const dns::DnsMessage& query, net::Endpoint client,
+                                  Responder respond) {
+  owner_.handle_dns_query(query, client, std::move(respond));
+}
+
+void ApRuntime::answer_with_ip(const dns::DnsMessage& query, const dns::DnsName& name,
+                               net::IpAddress ip, std::uint32_t ttl,
+                               std::vector<dns::ResourceRecord> additionals,
+                               std::function<void(dns::DnsMessage)> respond) const {
+  dns::DnsMessage resp = dns::make_response_for(query, dns::Rcode::NoError);
+  resp.answers.push_back(dns::make_a_record(name, ip, ttl));
+  resp.additionals = std::move(additionals);
+  respond(std::move(resp));
+}
+
+void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*client*/,
+                                 std::function<void(dns::DnsMessage)> respond) {
+  auto view = extract_dns_cache(query);
+  if (!options_.enable_ape || !view || !view.value().is_request) {
+    handle_regular_dns(query, std::move(respond));
+    return;
+  }
+
+  // --- DNS-Cache path ----------------------------------------------------
+  const dns::DnsName domain = view.value().domain;
+
+  // Charge the marginal cache-lookup cost on top of the base DNS service
+  // time already paid in DnsServer::on_datagram.
+  cpu_.submit(options_.config.cache_lookup_extra,
+              [this, query, domain, requested = view.value().entries,
+               respond = std::move(respond)]() mutable {
+    const FlagSet flags = collect_flags(domain, requested);
+    std::vector<dns::ResourceRecord> additionals;
+    additionals.push_back(make_cache_response_rr(domain, flags.entries));
+
+    if (!flags.needs_edge && !flags.entries.empty()) {
+      // No URL under this domain requires the edge directly: Cache-Hits are
+      // served locally and Delegations go through the AP, so the client
+      // never dereferences the answer.  Skip upstream resolution and return
+      // the non-routable dummy with TTL 0.  (The paper's Sec. IV-B3 rule is
+      // the all-cached special case; extending it to delegations keeps the
+      // lookup millisecond-level during cache warm-up as well — see
+      // DESIGN.md.)  Block-listed URLs force a real answer.
+      answer_with_ip(query, domain, net::kDummyIp, 0, std::move(additionals),
+                     std::move(respond));
+      return;
+    }
+
+    resolve_upstream(domain, [this, query, domain, additionals = std::move(additionals),
+                              respond = std::move(respond)](
+                                 Result<DnsCacheEntry> resolved) mutable {
+      if (!resolved) {
+        dns::DnsMessage resp = dns::make_response_for(query, dns::Rcode::ServFail);
+        resp.additionals = std::move(additionals);
+        respond(std::move(resp));
+        return;
+      }
+      const sim::Time now = network_.simulator().now();
+      const auto remaining = resolved.value().expires - now;
+      const std::uint32_t ttl = std::min<std::uint32_t>(
+          options_.config.dns_answer_ttl_cap,
+          static_cast<std::uint32_t>(std::max<std::int64_t>(0, sim::to_seconds(remaining))));
+      answer_with_ip(query, domain, resolved.value().ip, ttl, std::move(additionals),
+                     std::move(respond));
+    });
+  });
+}
+
+void ApRuntime::handle_regular_dns(const dns::DnsMessage& query,
+                                   std::function<void(dns::DnsMessage)> respond) {
+  if (query.questions.empty() || query.questions.front().qtype != dns::RrType::A) {
+    respond(dns::make_response_for(query, dns::Rcode::NotImp));
+    return;
+  }
+  const dns::DnsName name = query.questions.front().name;
+  resolve_upstream(name, [this, query, name, respond = std::move(respond)](
+                             Result<DnsCacheEntry> resolved) mutable {
+    if (!resolved) {
+      respond(dns::make_response_for(query, dns::Rcode::ServFail));
+      return;
+    }
+    const sim::Time now = network_.simulator().now();
+    const std::uint32_t ttl = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, sim::to_seconds(resolved.value().expires - now)));
+    answer_with_ip(query, name, resolved.value().ip, ttl, {}, std::move(respond));
+  });
+}
+
+void ApRuntime::resolve_upstream(const dns::DnsName& name,
+                                 std::function<void(Result<DnsCacheEntry>)> done) {
+  const sim::Time now = network_.simulator().now();
+  if (auto it = dns_cache_.find(name); it != dns_cache_.end()) {
+    if (it->second.expires > now) {
+      done(it->second);
+      return;
+    }
+    dns_cache_.erase(it);
+  }
+
+  dns::DnsMessage q;
+  q.header.rd = true;
+  q.questions.push_back(dns::Question{name, dns::RrType::A, dns::RrClass::In});
+  upstream_.query(options_.upstream_dns, std::move(q),
+                  [this, name, done = std::move(done)](Result<dns::DnsMessage> resp) mutable {
+                    if (!resp) {
+                      done(make_error<DnsCacheEntry>(resp.error().message));
+                      return;
+                    }
+                    auto extracted = dns::StubResolver::extract_address(resp.value(), name);
+                    if (!extracted) {
+                      done(make_error<DnsCacheEntry>(extracted.error().message));
+                      return;
+                    }
+                    DnsCacheEntry entry;
+                    entry.ip = extracted.value().address;
+                    entry.expires = network_.simulator().now() +
+                                    sim::seconds(extracted.value().ttl);
+                    if (extracted.value().ttl > 0) dns_cache_[name] = entry;
+                    done(entry);
+                  });
+}
+
+ApRuntime::FlagSet ApRuntime::collect_flags(const dns::DnsName& domain,
+                                            const std::vector<CacheLookupEntry>& requested) {
+  const sim::Time now = network_.simulator().now();
+
+  // Learn hash -> domain associations from the request itself.
+  for (const auto& e : requested) {
+    auto [it, inserted] = url_index_.try_emplace(e.hash);
+    if (inserted) it->second.domain = domain;
+    domain_hashes_[domain].insert(e.hash);
+  }
+
+  std::unordered_set<UrlHash> requested_set;
+  for (const auto& e : requested) requested_set.insert(e.hash);
+
+  FlagSet out;
+  out.all_cached = true;
+  const auto& hashes = domain_hashes_[domain];
+  out.entries.reserve(hashes.size());
+  for (UrlHash h : hashes) {
+    CacheFlag flag;
+    const std::string key = hash_to_string(h);
+    if (data_cache_->peek(key, now) != nullptr) {
+      flag = CacheFlag::CacheHit;
+    } else if (block_list_.contains(key)) {
+      flag = CacheFlag::CacheMiss;
+      out.all_cached = false;
+      out.needs_edge = true;
+    } else {
+      flag = CacheFlag::Delegation;
+      out.all_cached = false;
+    }
+    out.entries.push_back(CacheLookupEntry{h, flag});
+
+    // Only the explicitly requested hashes count toward hit statistics;
+    // batched extras are opportunistic.
+    if (requested_set.contains(h)) {
+      const auto info = url_index_.find(h);
+      const int priority = info == url_index_.end() ? 1 : info->second.priority;
+      switch (flag) {
+        case CacheFlag::CacheHit: stats_.record_hit(priority); break;
+        case CacheFlag::CacheMiss: stats_.record_miss(priority); break;
+        case CacheFlag::Delegation: stats_.record_delegation(priority); break;
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ HTTP
+
+void ApRuntime::serve_from_cache(const cache::CacheEntry& entry,
+                                 http::HttpServer::Responder respond) {
+  account_served_bytes(entry.size_bytes);
+  http::HttpResponse resp;
+  resp.status = 200;
+  resp.simulated_body_bytes = entry.size_bytes;
+  resp.headers.emplace_back("X-Cache", "AP-HIT");
+  resp.headers.emplace_back("X-Object-Priority", std::to_string(entry.priority));
+  resp.headers.emplace_back("X-Object-App", std::to_string(entry.app_id));
+  respond(std::move(resp));
+}
+
+void ApRuntime::handle_http(const http::HttpRequest& request,
+                            http::HttpServer::Responder respond) {
+  if (!options_.enable_ape) {
+    respond(http::make_status_response(404, "AP caching disabled"));
+    return;
+  }
+  const std::string base = request.url.base();
+  const UrlHash hash = hash_url(base);
+  const std::string key = hash_to_string(hash);
+  const sim::Time now = network_.simulator().now();
+
+  // Request frequency feeds PACM regardless of how the fetch resolves.
+  if (const auto* app_header = http::find_header(request.headers, "X-Ape-App")) {
+    freq_.record_request(static_cast<AppId>(std::stoul(*app_header)), now);
+  }
+
+  // Revalidation candidate: look for an expired-but-present entry *before*
+  // get() lazily erases it.
+  std::optional<cache::CacheEntry> stale;
+  if (options_.config.enable_revalidation) {
+    if (const auto* old = data_cache_->lookup_any(key);
+        old != nullptr && old->expired_at(now) && !old->etag.empty()) {
+      stale = *old;
+    }
+  }
+
+  if (const cache::CacheEntry* entry = data_cache_->get(key, now); entry != nullptr) {
+    serve_from_cache(*entry, std::move(respond));
+    return;
+  }
+
+  const bool is_delegation = http::find_header(request.headers, "X-Ape-Delegate") != nullptr;
+  if (!is_delegation) {
+    // Plain cache fetch that raced an eviction/expiry: the client falls
+    // back to the edge on 404.
+    respond(http::make_status_response(404, "not in AP cache"));
+    return;
+  }
+  delegate_fetch(request, hash, std::move(stale), std::move(respond));
+}
+
+void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
+                               std::optional<cache::CacheEntry> stale,
+                               http::HttpServer::Responder respond) {
+  // Delegation metadata shipped by the client library (Sec. IV-B2).
+  std::uint32_t ttl_seconds = 600;
+  int priority = 1;
+  AppId app = 0;
+  if (const auto* v = http::find_header(request.headers, "X-Ape-Ttl")) {
+    ttl_seconds = static_cast<std::uint32_t>(std::stoul(*v));
+  }
+  if (const auto* v = http::find_header(request.headers, "X-Ape-Priority")) {
+    priority = std::stoi(*v);
+  }
+  if (const auto* v = http::find_header(request.headers, "X-Ape-App")) {
+    app = static_cast<AppId>(std::stoul(*v));
+  }
+
+  const std::string base = request.url.base();
+  auto& info = url_index_[hash];
+  if (auto domain = dns::DnsName::parse(request.url.host)) {
+    info.domain = domain.value();
+    domain_hashes_[info.domain].insert(hash);
+  }
+  info.base_url = base;
+  info.app = app;
+  info.priority = priority;
+
+  ++delegations_;
+  const sim::Time fetch_start = network_.simulator().now();
+
+  resolve_upstream(info.domain, [this, request, hash, ttl_seconds, priority, app, fetch_start,
+                                 stale = std::move(stale), respond = std::move(respond)](
+                                    Result<DnsCacheEntry> resolved) mutable {
+    if (!resolved) {
+      respond(http::make_status_response(502, "AP could not resolve origin"));
+      return;
+    }
+    http::HttpRequest upstream_req;
+    upstream_req.method = "GET";
+    upstream_req.url = request.url;
+    // A delegation fills the AP cache with a fresh copy: the edge serves it
+    // as an origin pull (paying the object's backend latency) — unless a
+    // stale local copy can be revalidated with a conditional request.
+    upstream_req.headers.emplace_back("X-Origin-Pull", "1");
+    if (stale) upstream_req.headers.emplace_back("If-None-Match", stale->etag);
+
+    edge_client_.fetch(
+        net::Endpoint{resolved.value().ip, net::kHttpPort}, std::move(upstream_req),
+        [this, request, hash, ttl_seconds, priority, app, fetch_start,
+         stale = std::move(stale), respond = std::move(respond)](
+            Result<http::HttpResponse> result, http::FetchTiming) mutable {
+          const sim::Time now = network_.simulator().now();
+          const std::string key = hash_to_string(hash);
+
+          if (result && result.value().status == 304 && stale) {
+            // Not modified: refresh the stale entry's lifetime and serve it
+            // locally — no body crossed the WAN.
+            ++revalidations_;
+            cache::CacheEntry entry = std::move(*stale);
+            std::uint32_t ttl = ttl_seconds;
+            if (const auto* v =
+                    http::find_header(result.value().headers, "X-Object-TTL")) {
+              ttl = static_cast<std::uint32_t>(std::stoul(*v));
+            }
+            entry.expires = now + sim::seconds(ttl);
+            const std::size_t size = entry.size_bytes;
+            data_cache_->insert(std::move(entry), now);
+            account_served_bytes(size);
+
+            http::HttpResponse resp;
+            resp.status = 200;
+            resp.simulated_body_bytes = size;
+            resp.headers.emplace_back("X-Cache", "AP-REVALIDATED");
+            respond(std::move(resp));
+            return;
+          }
+
+          if (!result || !result.value().ok()) {
+            respond(http::make_status_response(502, "delegated fetch failed"));
+            return;
+          }
+          http::HttpResponse resp = std::move(result.value());
+          const sim::Duration fetch_latency = now - fetch_start;
+          const std::size_t size = resp.total_body_bytes();
+
+          if (block_list_.should_block(size)) {
+            // Too large to ever cache: remember that and stop delegating.
+            block_list_.block(key);
+          } else {
+            cache::CacheEntry entry;
+            entry.key = key;
+            entry.size_bytes = size;
+            entry.app_id = app;
+            entry.priority = priority;
+            entry.expires = now + sim::seconds(ttl_seconds);
+            entry.fetch_latency = fetch_latency;
+            if (const auto* etag = http::find_header(resp.headers, "ETag")) {
+              entry.etag = *etag;
+            }
+            data_cache_->insert(std::move(entry), now);
+          }
+
+          // The pulled body crossed the WAN into the AP (kernel RX) and is
+          // served to the client from userspace.
+          const std::size_t rx_packets = size / 1448 + 1;
+          for (std::size_t i = 0; i < rx_packets; ++i) forward_packet(1448, false);
+          account_served_bytes(size);
+
+          resp.headers.emplace_back("X-Cache", "AP-DELEGATED");
+          respond(std::move(resp));
+        });
+  });
+}
+
+}  // namespace ape::core

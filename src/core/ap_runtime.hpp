@@ -1,0 +1,166 @@
+// The APE-CACHE access-point runtime (paper Sec. IV): a dnsmasq-like DNS
+// forwarder extended with DNS-Cache handling, an HTTP cache/delegation
+// server, the PACM-managed object cache, and the device resource model.
+//
+// Responsibilities:
+//  * regular DNS forwarding with a local record cache (stock dnsmasq role),
+//  * DNS-Cache queries: batch cache status for every URL known under the
+//    queried domain into the Additional section; short-circuit upstream
+//    resolution with a dummy IP (TTL 0) when everything is cached locally,
+//  * serving cached objects over HTTP,
+//  * delegation: fetch from the edge on the client's behalf, learn the
+//    object's fetch latency, cache it (PACM or LRU), or block-list it when
+//    it exceeds the size threshold,
+//  * CPU/memory accounting for the Fig. 2 / Fig. 14 experiments.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/block_list.hpp"
+#include "cache/cache_stats.hpp"
+#include "cache/object_store.hpp"
+#include "core/config.hpp"
+#include "core/dns_cache_record.hpp"
+#include "core/frequency_tracker.hpp"
+#include "dns/server.hpp"
+#include "dns/stub_resolver.hpp"
+#include "http/endpoint.hpp"
+
+namespace ape::core {
+
+class ApRuntime {
+ public:
+  // PACM is the paper's contribution; LRU the evaluated baseline; FIFO,
+  // LFU and GDSF are additional ablation points (DESIGN.md).
+  enum class Policy { Pacm, Lru, Fifo, Lfu, Gdsf };
+
+  struct Options {
+    ApeConfig config;
+    net::Endpoint upstream_dns;   // the ISP's LDNS
+    bool enable_ape = true;       // false = stock dnsmasq forwarder only
+    Policy policy = Policy::Pacm;
+    std::size_t cpu_cores = 2;    // MT7621A is dual-core
+  };
+
+  ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId node, Options options);
+
+  // --- model/introspection ----------------------------------------------
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] sim::ServiceQueue& cpu() noexcept { return cpu_; }
+  [[nodiscard]] std::size_t cpu_cores() const noexcept { return options_.cpu_cores; }
+  [[nodiscard]] std::size_t memory_bytes() const;
+  [[nodiscard]] cache::CacheStatistics& lookup_stats() noexcept { return stats_; }
+  [[nodiscard]] const cache::CacheStore& data_cache() const noexcept { return *data_cache_; }
+  [[nodiscard]] cache::CacheStore& data_cache() noexcept { return *data_cache_; }
+  [[nodiscard]] FrequencyTracker& frequencies() noexcept { return freq_; }
+  [[nodiscard]] const cache::BlockList& block_list() const noexcept { return block_list_; }
+  [[nodiscard]] const ApeConfig& config() const noexcept { return options_.config; }
+  [[nodiscard]] std::size_t delegations_performed() const noexcept { return delegations_; }
+  [[nodiscard]] std::size_t revalidations_performed() const noexcept { return revalidations_; }
+
+  // --- traffic replay / pass-through accounting (Figs. 2 and 14) ---------
+  void forward_packet(std::size_t bytes, bool new_flow);
+  // CPU cost of serving `bytes` from the AP's own cache over WiFi: the
+  // userspace copy + TX path is costlier per byte than kernel NAT
+  // forwarding.  Charged asynchronously (DMA overlap) so it loads the CPU
+  // without delaying the in-flight response.
+  void account_served_bytes(std::size_t bytes);
+  void set_active_flows(std::size_t flows) noexcept { flows_ = flows; }
+  [[nodiscard]] std::size_t active_flows() const noexcept { return flows_; }
+
+  // Fully resets cache state between experiment runs.
+  void reset_cache();
+
+ private:
+  // ---- DNS side ----------------------------------------------------------
+  class Dns final : public dns::DnsServer {
+   public:
+    Dns(ApRuntime& owner, net::Network& network, net::NodeId node, sim::ServiceQueue& cpu,
+        sim::Duration service_time)
+        : dns::DnsServer(network, node, cpu, service_time), owner_(owner) {}
+
+   protected:
+    void handle_query(const dns::DnsMessage& query, net::Endpoint client,
+                      Responder respond) override;
+
+   private:
+    ApRuntime& owner_;
+  };
+
+  struct DnsCacheEntry {
+    net::IpAddress ip;
+    sim::Time expires{};
+  };
+
+  struct UrlInfo {
+    dns::DnsName domain;
+    std::string base_url;  // learned at first delegation
+    AppId app = 0;
+    int priority = 1;
+  };
+
+  void handle_dns_query(const dns::DnsMessage& query, net::Endpoint client,
+                        std::function<void(dns::DnsMessage)> respond);
+  void handle_regular_dns(const dns::DnsMessage& query,
+                          std::function<void(dns::DnsMessage)> respond);
+  void answer_with_ip(const dns::DnsMessage& query, const dns::DnsName& name,
+                      net::IpAddress ip, std::uint32_t ttl,
+                      std::vector<dns::ResourceRecord> additionals,
+                      std::function<void(dns::DnsMessage)> respond) const;
+
+  // Resolves `name` through the local record cache or upstream.
+  void resolve_upstream(const dns::DnsName& name,
+                        std::function<void(Result<DnsCacheEntry>)> done);
+
+  // Builds the batched cache-status list for a domain.  `requested` are the
+  // hashes the client explicitly asked about (these get recorded into the
+  // lookup statistics); returns all known flags and whether every known URL
+  // under the domain is a cache hit.
+  struct FlagSet {
+    std::vector<CacheLookupEntry> entries;
+    bool all_cached = false;   // every known URL is a Cache-Hit
+    bool needs_edge = false;   // some URL is block-listed (Cache-Miss)
+  };
+  FlagSet collect_flags(const dns::DnsName& domain,
+                        const std::vector<CacheLookupEntry>& requested);
+
+  // ---- HTTP side ----------------------------------------------------------
+  void handle_http(const http::HttpRequest& request, http::HttpServer::Responder respond);
+  void serve_from_cache(const cache::CacheEntry& entry,
+                        http::HttpServer::Responder respond);
+  // `stale` carries the expired-but-present entry when revalidation may
+  // refresh it with a conditional request instead of a full origin pull.
+  void delegate_fetch(const http::HttpRequest& request, UrlHash hash,
+                      std::optional<cache::CacheEntry> stale,
+                      http::HttpServer::Responder respond);
+
+  net::Network& network_;
+  net::TcpTransport& tcp_;
+  net::NodeId node_;
+  Options options_;
+
+  sim::ServiceQueue cpu_;
+  FrequencyTracker freq_;
+  std::unique_ptr<cache::CacheStore> data_cache_;
+  cache::BlockList block_list_;
+  cache::CacheStatistics stats_;
+
+  std::unique_ptr<Dns> dns_;
+  dns::DnsClient upstream_;
+  std::unique_ptr<http::HttpServer> http_;
+  http::HttpClient edge_client_;
+
+  std::unordered_map<dns::DnsName, DnsCacheEntry, dns::DnsNameHash> dns_cache_;
+  std::unordered_map<UrlHash, UrlInfo> url_index_;
+  std::unordered_map<dns::DnsName, std::unordered_set<UrlHash>, dns::DnsNameHash>
+      domain_hashes_;
+
+  std::size_t flows_ = 0;
+  std::size_t delegations_ = 0;
+  std::size_t revalidations_ = 0;
+};
+
+}  // namespace ape::core

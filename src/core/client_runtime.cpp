@@ -1,0 +1,426 @@
+#include "core/client_runtime.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace ape::core {
+
+const char* to_string(ClientRuntime::Source source) noexcept {
+  switch (source) {
+    case ClientRuntime::Source::ApCache: return "ap-cache";
+    case ClientRuntime::Source::ApDelegated: return "ap-delegated";
+    case ClientRuntime::Source::EdgeServer: return "edge";
+    case ClientRuntime::Source::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+ClientRuntime::ClientRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId node,
+                             net::Port dns_port, Options options)
+    : network_(network),
+      tcp_(tcp),
+      node_(node),
+      options_(options),
+      dns_(network, node, dns_port),
+      http_(tcp, node) {}
+
+void ClientRuntime::register_cacheable(CacheableSpec spec) {
+  auto key = spec.id;
+  registry_.insert_or_assign(std::move(key), std::move(spec));
+}
+
+const CacheableSpec* ClientRuntime::find_cacheable(const std::string& base_url) const {
+  auto it = registry_.find(base_url);
+  return it == registry_.end() ? nullptr : &it->second;
+}
+
+dns::DnsMessage ClientRuntime::build_dns_cache_query(
+    const dns::DnsName& domain, const std::vector<UrlHash>& hashes) const {
+  dns::DnsMessage query;
+  query.header.rd = true;
+  query.questions.push_back(dns::Question{domain, dns::RrType::A, dns::RrClass::In});
+  std::vector<CacheLookupEntry> entries;
+  entries.reserve(hashes.size());
+  for (UrlHash h : hashes) entries.push_back(CacheLookupEntry{h, CacheFlag::Delegation});
+  query.additionals.push_back(make_cache_request_rr(domain, entries));
+  return query;
+}
+
+void ClientRuntime::finish(FetchHandler& handler, FetchResult result) {
+  handler(std::move(result));
+}
+
+// ------------------------------------------------------------------ fetch
+
+void ClientRuntime::fetch(const std::string& url, FetchHandler handler) {
+  const auto parsed = http::Url::parse(url);
+  if (!parsed) {
+    FetchResult r;
+    r.error = "bad URL: " + parsed.error().message;
+    finish(handler, std::move(r));
+    return;
+  }
+  const CacheableSpec* spec = find_cacheable(parsed.value().base());
+  if (!options_.ape_enabled || spec == nullptr) {
+    fetch_via_edge(url, std::move(handler));
+    return;
+  }
+
+  const std::string host = parsed.value().host;
+  const UrlHash hash = hash_url(parsed.value().base());
+  const sim::Time start = network_.simulator().now();
+
+  // Fresh flags from a previous DNS-Cache response for this domain?
+  if (auto it = domains_.find(host); it != domains_.end()) {
+    if (it->second.expires > start) {
+      const auto flag_it = it->second.flags.find(hash);
+      // A URL the AP has not reported on yet defaults to Delegation (the
+      // AP is always willing to fetch-and-cache an unseen object).
+      const CacheFlag flag =
+          flag_it == it->second.flags.end() ? CacheFlag::Delegation : flag_it->second;
+      dispatch(url, *spec, flag, it->second.ip, start, sim::Duration{0}, true,
+               std::move(handler));
+      return;
+    }
+    domains_.erase(it);
+  }
+
+  auto domain = dns::DnsName::parse(host);
+  if (!domain) {
+    FetchResult r;
+    r.error = "bad hostname";
+    finish(handler, std::move(r));
+    return;
+  }
+
+  network_.simulator().schedule_in(options_.dns_cache_build_cost, [this, url, spec, hash,
+                                                                   host, start,
+                                                                   domain = domain.value(),
+                                                                   handler = std::move(
+                                                                       handler)]() mutable {
+  dns_.query(options_.ap_dns, build_dns_cache_query(domain, {hash}),
+             [this, url, spec, hash, host, start, handler = std::move(handler)](
+                 Result<dns::DnsMessage> response) mutable {
+               const sim::Duration lookup = network_.simulator().now() - start;
+               if (!response) {
+                 // DNS-Cache lookup failed outright; degrade to the edge path.
+                 fetch_via_edge(url, std::move(handler));
+                 return;
+               }
+
+               net::IpAddress ip = net::kDummyIp;
+               std::uint32_t ttl = 0;
+               if (auto addr = dns::StubResolver::extract_address(
+                       response.value(), dns::DnsName::parse(host).value());
+                   addr) {
+                 ip = addr.value().address;
+                 ttl = addr.value().ttl;
+               }
+
+               CacheFlag flag = CacheFlag::Delegation;
+               DomainState state;
+               state.ip = ip;
+               if (auto view = extract_dns_cache(response.value());
+                   view && !view.value().is_request) {
+                 for (const auto& e : view.value().entries) {
+                   state.flags[e.hash] = e.flag;
+                   if (e.hash == hash) flag = e.flag;
+                 }
+               }
+               if (ttl > 0 && ip != net::kDummyIp) {
+                 state.expires = network_.simulator().now() + sim::seconds(ttl);
+                 domains_[host] = std::move(state);
+               }
+               dispatch(url, *spec, flag, ip, start, lookup, false, std::move(handler));
+             });
+  });
+}
+
+void ClientRuntime::dispatch(const std::string& url, const CacheableSpec& spec, CacheFlag flag,
+                             net::IpAddress edge_ip, sim::Time start, sim::Duration lookup,
+                             bool lookup_cached, FetchHandler handler) {
+  switch (flag) {
+    case CacheFlag::CacheHit:
+      fetch_from_ap(url, spec, /*delegate=*/false, edge_ip, start, lookup, lookup_cached, flag,
+                    std::move(handler));
+      return;
+    case CacheFlag::Delegation:
+      fetch_from_ap(url, spec, /*delegate=*/true, edge_ip, start, lookup, lookup_cached, flag,
+                    std::move(handler));
+      return;
+    case CacheFlag::CacheMiss:
+      fetch_from_edge(url, edge_ip, start, lookup, lookup_cached, flag, std::move(handler));
+      return;
+  }
+}
+
+void ClientRuntime::fetch_from_ap(const std::string& url, const CacheableSpec& spec,
+                                  bool delegate, net::IpAddress edge_ip, sim::Time start,
+                                  sim::Duration lookup, bool lookup_cached, CacheFlag flag,
+                                  FetchHandler handler) {
+  auto parsed = http::Url::parse(url);
+  http::HttpRequest req;
+  req.url = std::move(parsed.value());
+  req.headers.emplace_back("X-Ape-App", std::to_string(spec.app));
+  if (delegate) {
+    req.headers.emplace_back("X-Ape-Delegate", "1");
+    req.headers.emplace_back("X-Ape-Ttl", std::to_string(spec.ttl_seconds()));
+    req.headers.emplace_back("X-Ape-Priority", std::to_string(spec.priority));
+  }
+
+  const sim::Time fetch_start = network_.simulator().now();
+  http_.fetch(
+      net::Endpoint{options_.ap_ip, net::kHttpPort}, std::move(req),
+      [this, url, edge_ip, start, lookup, lookup_cached, flag, delegate, fetch_start,
+       handler = std::move(handler)](Result<http::HttpResponse> result,
+                                     http::FetchTiming) mutable {
+        const sim::Time now = network_.simulator().now();
+        if (!result || !result.value().ok()) {
+          // Lookup/fetch race (evicted or expired in between), or the AP's
+          // delegated fetch failed: fall back to the edge.
+          fetch_from_edge(url, edge_ip, start, lookup, lookup_cached, flag,
+                          std::move(handler));
+          return;
+        }
+        FetchResult r;
+        r.success = true;
+        // The AP reports how it actually served the request: a delegation
+        // that raced an earlier caching of the same object comes back as a
+        // hit (X-Cache: AP-HIT), which matters for hit-ratio accounting.
+        const std::string* served = http::find_header(result.value().headers, "X-Cache");
+        const bool was_hit = served != nullptr && *served == "AP-HIT";
+        r.source = was_hit ? Source::ApCache : Source::ApDelegated;
+        r.flag = was_hit ? CacheFlag::CacheHit : flag;
+        (void)delegate;
+        r.lookup_from_cache = lookup_cached;
+        r.lookup_latency = lookup;
+        r.retrieval_latency = now - fetch_start;
+        r.total = now - start;
+        r.bytes = result.value().total_body_bytes();
+        finish(handler, std::move(r));
+      });
+}
+
+void ClientRuntime::fetch_from_edge(const std::string& url, net::IpAddress edge_ip,
+                                    sim::Time start, sim::Duration lookup, bool lookup_cached,
+                                    CacheFlag flag, FetchHandler handler) {
+  if (edge_ip == net::kDummyIp || edge_ip.is_unspecified()) {
+    // We never learned a real edge address (dummy-IP short circuit):
+    // resolve regularly, then fetch.
+    auto parsed = http::Url::parse(url);
+    if (!parsed) {
+      FetchResult r;
+      r.error = "bad URL";
+      finish(handler, std::move(r));
+      return;
+    }
+    auto domain = dns::DnsName::parse(parsed.value().host);
+    dns::DnsMessage query;
+    query.header.rd = true;
+    query.questions.push_back(dns::Question{domain.value(), dns::RrType::A, dns::RrClass::In});
+    dns_.query(options_.ap_dns, std::move(query),
+               [this, url, domain = domain.value(), start, lookup, lookup_cached, flag,
+                handler = std::move(handler)](Result<dns::DnsMessage> response) mutable {
+                 if (!response) {
+                   FetchResult r;
+                   r.error = "edge re-resolution failed: " + response.error().message;
+                   finish(handler, std::move(r));
+                   return;
+                 }
+                 auto addr = dns::StubResolver::extract_address(response.value(), domain);
+                 if (!addr) {
+                   FetchResult r;
+                   r.error = "edge re-resolution: " + addr.error().message;
+                   finish(handler, std::move(r));
+                   return;
+                 }
+                 fetch_from_edge(url, addr.value().address, start,
+                                 network_.simulator().now() - start, lookup_cached, flag,
+                                 std::move(handler));
+               });
+    return;
+  }
+
+  auto parsed = http::Url::parse(url);
+  http::HttpRequest req;
+  req.url = std::move(parsed.value());
+  const sim::Time fetch_start = network_.simulator().now();
+  http_.fetch(net::Endpoint{edge_ip, net::kHttpPort}, std::move(req),
+              [this, start, lookup, lookup_cached, flag, fetch_start,
+               handler = std::move(handler)](Result<http::HttpResponse> result,
+                                             http::FetchTiming) mutable {
+                const sim::Time now = network_.simulator().now();
+                FetchResult r;
+                r.flag = flag;
+                r.lookup_from_cache = lookup_cached;
+                r.lookup_latency = lookup;
+                r.retrieval_latency = now - fetch_start;
+                r.total = now - start;
+                if (!result) {
+                  r.error = result.error().message;
+                } else if (!result.value().ok()) {
+                  r.error = "edge HTTP " + std::to_string(result.value().status);
+                } else {
+                  r.success = true;
+                  r.source = Source::EdgeServer;
+                  r.bytes = result.value().total_body_bytes();
+                }
+                finish(handler, std::move(r));
+              });
+}
+
+void ClientRuntime::fetch_via_edge(const std::string& url, FetchHandler handler) {
+  const auto parsed = http::Url::parse(url);
+  if (!parsed) {
+    FetchResult r;
+    r.error = "bad URL: " + parsed.error().message;
+    finish(handler, std::move(r));
+    return;
+  }
+  const sim::Time start = network_.simulator().now();
+  auto domain = dns::DnsName::parse(parsed.value().host);
+  if (!domain) {
+    FetchResult r;
+    r.error = "bad hostname";
+    finish(handler, std::move(r));
+    return;
+  }
+
+  dns::DnsMessage query;
+  query.header.rd = true;
+  query.questions.push_back(dns::Question{domain.value(), dns::RrType::A, dns::RrClass::In});
+  dns_.query(options_.ap_dns, std::move(query),
+             [this, url, domain = domain.value(), start, handler = std::move(handler)](
+                 Result<dns::DnsMessage> response) mutable {
+               const sim::Duration lookup = network_.simulator().now() - start;
+               if (!response) {
+                 FetchResult r;
+                 r.lookup_latency = lookup;
+                 r.error = "DNS failed: " + response.error().message;
+                 finish(handler, std::move(r));
+                 return;
+               }
+               auto addr = dns::StubResolver::extract_address(response.value(), domain);
+               if (!addr) {
+                 FetchResult r;
+                 r.lookup_latency = lookup;
+                 r.error = "DNS: " + addr.error().message;
+                 finish(handler, std::move(r));
+                 return;
+               }
+               fetch_from_edge(url, addr.value().address, start, lookup, false,
+                               CacheFlag::CacheMiss, std::move(handler));
+             });
+}
+
+void ClientRuntime::fetch_standalone(const std::string& url, FetchHandler handler) {
+  // Fig. 11b's "two standalone queries": a regular DNS query first, then a
+  // separate DNS-Cache query, then the normal dispatch.
+  const auto parsed = http::Url::parse(url);
+  if (!parsed) {
+    FetchResult r;
+    r.error = "bad URL: " + parsed.error().message;
+    finish(handler, std::move(r));
+    return;
+  }
+  const CacheableSpec* spec = find_cacheable(parsed.value().base());
+  if (spec == nullptr) {
+    fetch_via_edge(url, std::move(handler));
+    return;
+  }
+  const std::string host = parsed.value().host;
+  const UrlHash hash = hash_url(parsed.value().base());
+  const sim::Time start = network_.simulator().now();
+  auto domain = dns::DnsName::parse(host).value();
+
+  dns::DnsMessage plain;
+  plain.header.rd = true;
+  plain.questions.push_back(dns::Question{domain, dns::RrType::A, dns::RrClass::In});
+  dns_.query(
+      options_.ap_dns, std::move(plain),
+      [this, url, spec, hash, domain, start, handler = std::move(handler)](
+          Result<dns::DnsMessage> first) mutable {
+        net::IpAddress ip = net::kDummyIp;
+        if (first) {
+          if (auto addr = dns::StubResolver::extract_address(first.value(), domain)) {
+            ip = addr.value().address;
+          }
+        }
+        // Second, standalone cache query.
+        dns_.query(options_.ap_dns, build_dns_cache_query(domain, {hash}),
+                   [this, url, spec, hash, ip, start, handler = std::move(handler)](
+                       Result<dns::DnsMessage> second) mutable {
+                     const sim::Duration lookup = network_.simulator().now() - start;
+                     CacheFlag flag = CacheFlag::Delegation;
+                     if (second) {
+                       if (auto view = extract_dns_cache(second.value());
+                           view && !view.value().is_request) {
+                         for (const auto& e : view.value().entries) {
+                           if (e.hash == hash) flag = e.flag;
+                         }
+                       }
+                     }
+                     dispatch(url, *spec, flag, ip, start, lookup, false, std::move(handler));
+                   });
+      });
+}
+
+void ClientRuntime::prefetch(const std::string& domain, PrefetchHandler done) {
+  std::vector<std::string> urls;
+  for (const auto& [base, spec] : registry_) {
+    const auto parsed = http::Url::parse(base);
+    if (!parsed) continue;
+    if (domain.empty() || parsed.value().host == domain) urls.push_back(base);
+  }
+  if (urls.empty()) {
+    done(0);
+    return;
+  }
+
+  struct Progress {
+    std::size_t remaining;
+    std::size_t warmed = 0;
+    PrefetchHandler done;
+  };
+  auto progress = std::make_shared<Progress>();
+  progress->remaining = urls.size();
+  progress->done = std::move(done);
+
+  for (const auto& url : urls) {
+    fetch(url, [progress](FetchResult result) {
+      if (result.success && (result.source == Source::ApDelegated ||
+                             result.source == Source::ApCache)) {
+        ++progress->warmed;
+      }
+      if (--progress->remaining == 0) progress->done(progress->warmed);
+    });
+  }
+}
+
+// ---------------------------------------------------------- lookup probes
+
+void ClientRuntime::dns_cache_lookup(const std::string& host,
+                                     const std::vector<UrlHash>& hashes,
+                                     LookupHandler handler) {
+  auto domain = dns::DnsName::parse(host);
+  const sim::Time start = network_.simulator().now();
+  dns_.query(options_.ap_dns, build_dns_cache_query(domain.value(), hashes),
+             [this, start, handler = std::move(handler)](Result<dns::DnsMessage> r) mutable {
+               handler(std::move(r), network_.simulator().now() - start);
+             });
+}
+
+void ClientRuntime::regular_dns_lookup(const std::string& host, LookupHandler handler) {
+  auto domain = dns::DnsName::parse(host);
+  dns::DnsMessage query;
+  query.header.rd = true;
+  query.questions.push_back(
+      dns::Question{domain.value(), dns::RrType::A, dns::RrClass::In});
+  const sim::Time start = network_.simulator().now();
+  dns_.query(options_.ap_dns, std::move(query),
+             [this, start, handler = std::move(handler)](Result<dns::DnsMessage> r) mutable {
+               handler(std::move(r), network_.simulator().now() - start);
+             });
+}
+
+}  // namespace ape::core

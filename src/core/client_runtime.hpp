@@ -1,0 +1,136 @@
+// APE-CACHE client runtime — the modified HTTP client library (paper
+// Sec. IV-A/IV-B) that mobile apps link.
+//
+// Workflow per cacheable fetch:
+//   1. match the outgoing URL's base against the registered cacheable
+//      objects (the "annotations");
+//   2. cache lookup piggybacked on DNS: send a DNS-Cache query to the AP
+//      unless a previous response's flags for this domain are still fresh
+//      (a dummy-IP answer carries TTL 0 and is never reused);
+//   3. dispatch on the flag: Cache-Hit -> HTTP fetch from the AP,
+//      Cache-Miss -> HTTP fetch from the resolved edge server,
+//      Delegation -> HTTP fetch through the AP with delegation headers;
+//   4. on AP races (entry evicted between lookup and fetch) fall back to
+//      the edge path.
+//
+// fetch_via_edge() is the unmodified-library baseline path (regular DNS +
+// edge HTTP); fetch_standalone() reproduces the Fig. 11b "two standalone
+// queries" configuration.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "core/dns_cache_record.hpp"
+#include "core/frequency_tracker.hpp"
+#include "core/url_hash.hpp"
+#include "dns/stub_resolver.hpp"
+#include "http/endpoint.hpp"
+
+namespace ape::core {
+
+// One @Cacheable annotation (paper Fig. 6): id = base URL, priority in
+// {1, 2}, TTL in minutes.
+struct CacheableSpec {
+  std::string id;
+  int priority = 1;
+  std::uint32_t ttl_minutes = 10;
+  AppId app = 0;
+
+  [[nodiscard]] std::uint32_t ttl_seconds() const noexcept { return ttl_minutes * 60; }
+};
+
+class ClientRuntime {
+ public:
+  struct Options {
+    net::Endpoint ap_dns;     // AP's DNS service
+    net::IpAddress ap_ip;     // AP's address for HTTP fetches
+    bool ape_enabled = true;  // false: every fetch takes the edge path
+    // Client-side cost of building a DNS-Cache query (hashing the URL,
+    // assembling the Additional RR in the managed runtime) — part of the
+    // measured lookup latency, and the reason the paper's lookup (~7.5 ms)
+    // slightly exceeds one WiFi RTT.
+    sim::Duration dns_cache_build_cost{sim::microseconds(2800)};
+  };
+
+  // `dns_port` must be unique per (node, runtime) pair.
+  ClientRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId node,
+                net::Port dns_port, Options options);
+
+  // --- programming model surface -----------------------------------------
+  void register_cacheable(CacheableSpec spec);
+  [[nodiscard]] const CacheableSpec* find_cacheable(const std::string& base_url) const;
+  [[nodiscard]] std::size_t cacheable_count() const noexcept { return registry_.size(); }
+
+  // --- fetching -------------------------------------------------------------
+  enum class Source { ApCache, ApDelegated, EdgeServer, Unknown };
+
+  struct FetchResult {
+    bool success = false;
+    Source source = Source::Unknown;
+    CacheFlag flag = CacheFlag::Delegation;
+    bool lookup_from_cache = false;   // flags reused within the DNS TTL
+    sim::Duration lookup_latency{0};
+    sim::Duration retrieval_latency{0};
+    sim::Duration total{0};
+    std::size_t bytes = 0;
+    std::string error;
+  };
+  using FetchHandler = std::function<void(FetchResult)>;
+
+  void fetch(const std::string& url, FetchHandler handler);
+  void fetch_via_edge(const std::string& url, FetchHandler handler);
+  void fetch_standalone(const std::string& url, FetchHandler handler);
+
+  // Prefetching synergy (paper Sec. VI: APPx/PALOMA/Marauder can warm the
+  // AP instead of the device): issues background fetches for every
+  // registered cacheable object under `domain` (or all domains when
+  // empty), so later foreground fetches hit the AP.  `done` fires once
+  // with the number of objects warmed.
+  using PrefetchHandler = std::function<void(std::size_t warmed)>;
+  void prefetch(const std::string& domain, PrefetchHandler done);
+
+  // --- lookup-only probes (Fig. 11b) ---------------------------------------
+  using LookupHandler = std::function<void(Result<dns::DnsMessage>, sim::Duration)>;
+  void dns_cache_lookup(const std::string& host, const std::vector<UrlHash>& hashes,
+                        LookupHandler handler);
+  void regular_dns_lookup(const std::string& host, LookupHandler handler);
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+
+ private:
+  struct DomainState {
+    net::IpAddress ip;
+    sim::Time expires{};
+    std::unordered_map<UrlHash, CacheFlag> flags;
+  };
+
+  void dispatch(const std::string& url, const CacheableSpec& spec, CacheFlag flag,
+                net::IpAddress edge_ip, sim::Time start, sim::Duration lookup,
+                bool lookup_cached, FetchHandler handler);
+  void fetch_from_ap(const std::string& url, const CacheableSpec& spec, bool delegate,
+                     net::IpAddress edge_ip, sim::Time start, sim::Duration lookup,
+                     bool lookup_cached, CacheFlag flag, FetchHandler handler);
+  void fetch_from_edge(const std::string& url, net::IpAddress edge_ip, sim::Time start,
+                       sim::Duration lookup, bool lookup_cached, CacheFlag flag,
+                       FetchHandler handler);
+  void finish(FetchHandler& handler, FetchResult result);
+
+  [[nodiscard]] dns::DnsMessage build_dns_cache_query(const dns::DnsName& domain,
+                                                      const std::vector<UrlHash>& hashes) const;
+
+  net::Network& network_;
+  net::TcpTransport& tcp_;
+  net::NodeId node_;
+  Options options_;
+  dns::DnsClient dns_;
+  http::HttpClient http_;
+  std::unordered_map<std::string, CacheableSpec> registry_;  // by base URL
+  std::unordered_map<std::string, DomainState> domains_;     // by host
+};
+
+[[nodiscard]] const char* to_string(ClientRuntime::Source source) noexcept;
+
+}  // namespace ape::core

@@ -1,0 +1,4 @@
+#include "core/config.hpp"
+
+// Currently header-only; this TU anchors the library and keeps a stable
+// home for future validation helpers.

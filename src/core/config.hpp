@@ -1,0 +1,55 @@
+// APE-CACHE tunables, defaulted to the paper's reference implementation
+// values (Secs. IV-B, IV-C, V-A).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ape::core {
+
+struct ApeConfig {
+  // --- AP data cache -----------------------------------------------------
+  std::size_t cache_capacity_bytes = 5 * 1000 * 1000;  // 5 MB (Sec. V-B)
+  std::size_t block_threshold_bytes = 500 * 1000;      // 500 kB (Sec. IV-B1)
+
+  // --- PACM ---------------------------------------------------------------
+  double alpha = 0.7;           // EWMA weight on the newest window (Sec. IV-C)
+  double fairness_theta = 0.4;  // Gini bound on storage efficiency
+  sim::Duration frequency_window = sim::seconds(60.0);  // R(a) update period
+  // DP budget: above items*capacity_kb > budget, fall back to greedy.
+  std::size_t knapsack_dp_budget = 40'000'000;
+
+  // --- PACM ablations (see DESIGN.md; exercised by bench_ablation_pacm) ---
+  bool pacm_use_priority = true;   // false: p_d forced to 1 in U_d
+  bool pacm_use_fairness = true;   // false: drop the F(A) <= theta constraint
+  bool pacm_force_greedy = false;  // true: always use the density greedy
+
+  // --- extensions beyond the paper (default off) ---------------------------
+  // Conditional-GET revalidation: a delegation for an object whose cached
+  // copy merely *expired* sends If-None-Match; a 304 refreshes the entry
+  // without moving the body across the WAN.
+  bool enable_revalidation = false;
+
+  // --- DNS-Cache ----------------------------------------------------------
+  // Extra AP CPU time for the piggybacked cache lookup relative to a plain
+  // DNS query (measured at ~0.02 ms in the paper, Fig. 11b).
+  sim::Duration cache_lookup_extra = sim::microseconds(20);
+  sim::Duration dns_service_time = sim::microseconds(400);   // per DNS query
+  std::uint32_t dns_answer_ttl_cap = 30;                     // seconds
+
+  // --- AP HTTP path ---------------------------------------------------------
+  sim::Duration http_service_base = sim::microseconds(500);
+  sim::Duration http_service_per_kb = sim::microseconds(12);
+
+  // --- AP memory model (Fig. 2 / Fig. 14) ----------------------------------
+  // Baseline footprint of the stock firmware + dnsmasq.
+  std::size_t base_memory_bytes = 104 * 1024 * 1024;
+  // APE-CACHE runtime overhead excluding the object cache itself.
+  std::size_t runtime_memory_bytes = 6 * 1024 * 1024;
+  std::size_t per_index_entry_bytes = 160;   // url_index bookkeeping
+  std::size_t per_connection_bytes = 16 * 1024;
+  std::size_t per_flow_bytes = 512;          // NAT/conntrack style state
+};
+
+}  // namespace ape::core

@@ -1,0 +1,40 @@
+#include "core/frequency_tracker.hpp"
+
+#include <cassert>
+
+namespace ape::core {
+
+FrequencyTracker::FrequencyTracker(double alpha, sim::Duration window)
+    : alpha_(alpha), window_(window) {
+  assert(window_.count() > 0);
+}
+
+void FrequencyTracker::roll(AppState& state, sim::Time now) const {
+  while (now - state.window_start >= window_) {
+    state.smoothed = (1.0 - alpha_) * state.smoothed +
+                     alpha_ * static_cast<double>(state.current_count);
+    state.current_count = 0;
+    state.window_start = state.window_start + window_;
+    state.has_history = true;
+  }
+}
+
+void FrequencyTracker::record_request(AppId app, sim::Time now) {
+  auto [it, inserted] = apps_.try_emplace(app);
+  if (inserted) it->second.window_start = now;
+  roll(it->second, now);
+  ++it->second.current_count;
+}
+
+double FrequencyTracker::frequency(AppId app, sim::Time now) const {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) return 0.0;
+  roll(it->second, now);
+  if (!it->second.has_history) {
+    // First window still open: best estimate is the live count.
+    return static_cast<double>(it->second.current_count);
+  }
+  return it->second.smoothed;
+}
+
+}  // namespace ape::core

@@ -1,0 +1,48 @@
+// Per-app request-frequency estimation for PACM (paper Sec. IV-C):
+//
+//   R(a) = (1 - alpha) * R'(a) + alpha * r_a(dt)
+//
+// where r_a(dt) is the number of requests for app `a` the AP received in
+// the last window.  Windows are rolled lazily: recording or reading an
+// app's frequency first folds in every fully elapsed window (idle windows
+// contribute counts of zero, decaying R toward 0 for abandoned apps).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace ape::core {
+
+using AppId = std::uint32_t;
+
+class FrequencyTracker {
+ public:
+  FrequencyTracker(double alpha, sim::Duration window);
+
+  void record_request(AppId app, sim::Time now);
+
+  // Smoothed requests-per-window; freshly seen apps use their live count so
+  // new apps are not starved before their first full window closes.
+  [[nodiscard]] double frequency(AppId app, sim::Time now) const;
+
+  [[nodiscard]] std::size_t tracked_apps() const noexcept { return apps_.size(); }
+  [[nodiscard]] sim::Duration window() const noexcept { return window_; }
+
+ private:
+  struct AppState {
+    double smoothed = 0.0;
+    std::uint64_t current_count = 0;
+    sim::Time window_start{};
+    bool has_history = false;
+  };
+
+  void roll(AppState& state, sim::Time now) const;
+
+  double alpha_;
+  sim::Duration window_;
+  mutable std::unordered_map<AppId, AppState> apps_;
+};
+
+}  // namespace ape::core

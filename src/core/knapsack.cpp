@@ -1,0 +1,113 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace ape::core {
+
+namespace {
+
+constexpr std::size_t kGranularity = 1024;  // DP cell = 1 kB
+
+// Weight in DP units, rounded up so the byte budget is never exceeded.
+std::size_t units(std::size_t bytes) {
+  return (bytes + kGranularity - 1) / kGranularity;
+}
+
+KnapsackResult solve_greedy(std::span<const KnapsackItem> items, std::size_t capacity_bytes) {
+  KnapsackResult result;
+  result.exact = false;
+  result.selected.assign(items.size(), false);
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = items[a].weight == 0
+                          ? items[a].value
+                          : items[a].value / static_cast<double>(items[a].weight);
+    const double db = items[b].weight == 0
+                          ? items[b].value
+                          : items[b].value / static_cast<double>(items[b].weight);
+    return da > db;
+  });
+
+  for (std::size_t idx : order) {
+    if (result.total_weight + items[idx].weight > capacity_bytes) continue;
+    result.selected[idx] = true;
+    result.total_weight += items[idx].weight;
+    result.total_value += items[idx].value;
+  }
+  return result;
+}
+
+}  // namespace
+
+KnapsackResult solve_knapsack(std::span<const KnapsackItem> items, std::size_t capacity_bytes,
+                              std::size_t dp_budget) {
+  const std::size_t n = items.size();
+  // Item weights round up to DP units; capacity rounds up too so that
+  // exact byte fits (item == capacity) stay feasible.  The optimistic
+  // capacity rounding can admit a slight byte overflow, which the repair
+  // pass below removes.
+  const std::size_t cap_units = units(capacity_bytes);
+
+  if (n == 0) return KnapsackResult{{}, 0.0, 0, true};
+  if (n * (cap_units + 1) > dp_budget) return solve_greedy(items, capacity_bytes);
+
+  // dp[w] = best value using a prefix of items at weight w; `taken` bitset
+  // per item row enables backtracking without an n x cap table of doubles.
+  const std::size_t width = cap_units + 1;
+  std::vector<double> dp(width, 0.0);
+  std::vector<std::vector<bool>> taken(n, std::vector<bool>(width, false));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t w = units(items[i].weight);
+    if (w > cap_units) continue;  // can never fit
+    for (std::size_t c = cap_units + 1; c-- > w;) {
+      const double candidate = dp[c - w] + items[i].value;
+      if (candidate > dp[c]) {
+        dp[c] = candidate;
+        taken[i][c] = true;
+      }
+    }
+  }
+
+  KnapsackResult result;
+  result.exact = true;
+  result.selected.assign(n, false);
+  result.total_value = dp[cap_units];
+
+  std::size_t c = cap_units;
+  for (std::size_t i = n; i-- > 0;) {
+    if (taken[i][c]) {
+      result.selected[i] = true;
+      result.total_weight += items[i].weight;
+      c -= units(items[i].weight);
+    }
+  }
+
+  // Byte-feasibility repair: the unit-rounded capacity can overshoot by at
+  // most one granule; drop the lowest-density selections until it fits.
+  while (result.total_weight > capacity_bytes) {
+    std::size_t worst = n;
+    double worst_density = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!result.selected[i] || items[i].weight == 0) continue;
+      const double density = items[i].value / static_cast<double>(items[i].weight);
+      if (density < worst_density) {
+        worst_density = density;
+        worst = i;
+      }
+    }
+    if (worst == n) break;
+    result.selected[worst] = false;
+    result.total_weight -= items[worst].weight;
+    result.total_value -= items[worst].value;
+  }
+  assert(result.total_weight <= capacity_bytes);
+  return result;
+}
+
+}  // namespace ape::core

@@ -1,0 +1,31 @@
+// 0/1 knapsack solver used by PACM's eviction decision.
+//
+// Exact dynamic program over the byte dimension at 1 kB granularity with
+// item backtracking.  When items x capacity exceeds the DP budget the
+// solver degrades to a utility-density greedy (documented in DESIGN.md);
+// callers can tell which path ran via KnapsackResult::exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ape::core {
+
+struct KnapsackItem {
+  double value = 0.0;        // utility U_d (>= 0)
+  std::size_t weight = 0;    // bytes
+};
+
+struct KnapsackResult {
+  std::vector<bool> selected;   // parallel to the input span
+  double total_value = 0.0;
+  std::size_t total_weight = 0; // bytes actually packed
+  bool exact = true;
+};
+
+[[nodiscard]] KnapsackResult solve_knapsack(std::span<const KnapsackItem> items,
+                                            std::size_t capacity_bytes,
+                                            std::size_t dp_budget = 40'000'000);
+
+}  // namespace ape::core

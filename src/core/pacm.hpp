@@ -1,0 +1,69 @@
+// PACM — Priority-Aware Cache Management (paper Sec. IV-C).
+//
+// Given the currently cached objects, an incoming object of size S, the
+// cache capacity C, per-app request frequencies R(a) and the fairness bound
+// theta, select the subset O of cached objects to *keep*:
+//
+//     max  sum_d O_d * U_d            U_d = R(A_d) * e_d * l_d * p_d
+//     s.t. sum_d O_d * s_d <= C - S
+//          F(A) <= theta              (Gini over C_a = sum s_d / R(a))
+//
+// The Gini constraint is not separable, so after the exact knapsack DP a
+// fairness-repair loop runs: while F exceeds theta, the worst-efficiency
+// app (largest C_a) loses its lowest-utility-density kept object and the
+// knapsack re-solves without it.  This converges because each round
+// strictly shrinks the candidate set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/frequency_tracker.hpp"
+#include "core/knapsack.hpp"
+
+namespace ape::core {
+
+struct PacmObject {
+  std::string key;
+  AppId app = 0;
+  std::size_t size_bytes = 0;
+  int priority = 1;
+  double remaining_ttl_s = 0.0;   // e_d
+  double fetch_latency_ms = 0.0;  // l_d
+};
+
+struct PacmDecision {
+  std::vector<std::string> evict;  // keys to remove
+  double kept_utility = 0.0;
+  double fairness = 0.0;           // F(A) of the kept set
+  bool fairness_satisfied = true;
+  bool exact = true;               // knapsack ran the exact DP
+  int repair_rounds = 0;
+};
+
+class PacmSolver {
+ public:
+  explicit PacmSolver(const ApeConfig& config) : config_(config) {}
+
+  // `frequency(app)` must be positive for apps with cached objects; zero
+  // frequencies are clamped to a small epsilon (an idle app's storage
+  // efficiency would otherwise be infinite).
+  [[nodiscard]] PacmDecision select_evictions(
+      const std::vector<PacmObject>& cached, std::size_t incoming_size_bytes,
+      const std::vector<std::pair<AppId, double>>& frequencies) const;
+
+  // The utility function, exposed for tests and benches.
+  [[nodiscard]] static double utility(const PacmObject& object, double app_frequency);
+
+  // F(A): Gini coefficient over per-app storage efficiency for the subset
+  // of `objects` flagged in `kept`.
+  [[nodiscard]] static double fairness(
+      const std::vector<PacmObject>& objects, const std::vector<bool>& kept,
+      const std::vector<std::pair<AppId, double>>& frequencies);
+
+ private:
+  const ApeConfig& config_;
+};
+
+}  // namespace ape::core

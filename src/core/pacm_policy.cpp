@@ -1,0 +1,43 @@
+#include "core/pacm_policy.hpp"
+
+#include <unordered_set>
+
+namespace ape::core {
+
+PacmPolicy::PacmPolicy(const ApeConfig& config, const sim::Simulator& clock,
+                       const FrequencyTracker& frequencies)
+    : config_(config), clock_(clock), frequencies_(frequencies), solver_(config_) {}
+
+std::optional<std::vector<std::string>> PacmPolicy::select_victims(
+    const cache::CacheStore& store, const cache::CacheEntry& incoming,
+    std::size_t /*bytes_needed*/) {
+  ++invocations_;
+  const sim::Time now = clock_.now();
+
+  std::vector<PacmObject> cached;
+  std::unordered_set<AppId> apps;
+  cached.reserve(store.entry_count());
+  store.for_each([&](const cache::CacheEntry& entry) {
+    PacmObject obj;
+    obj.key = entry.key;
+    obj.app = entry.app_id;
+    obj.size_bytes = entry.size_bytes;
+    obj.priority = entry.priority;
+    obj.remaining_ttl_s = sim::to_seconds(entry.remaining_ttl(now));
+    obj.fetch_latency_ms = sim::to_millis(entry.fetch_latency);
+    cached.push_back(std::move(obj));
+    apps.insert(entry.app_id);
+  });
+  apps.insert(incoming.app_id);
+
+  std::vector<std::pair<AppId, double>> frequencies;
+  frequencies.reserve(apps.size());
+  for (AppId app : apps) frequencies.emplace_back(app, frequencies_.frequency(app, now));
+
+  // The solver caps the kept set at (C - S), so evicting its complement
+  // always frees at least `bytes_needed`.
+  last_ = solver_.select_evictions(cached, incoming.size_bytes, frequencies);
+  return last_.evict;
+}
+
+}  // namespace ape::core

@@ -1,0 +1,44 @@
+// PACM as a cache::EvictionPolicy, pluggable into cache::CacheStore —
+// swapping this for cache::LruPolicy turns APE-CACHE into the paper's
+// APE-CACHE-LRU ablation.
+#pragma once
+
+#include <functional>
+
+#include "cache/object_store.hpp"
+#include "core/frequency_tracker.hpp"
+#include "core/pacm.hpp"
+#include "sim/simulator.hpp"
+
+namespace ape::core {
+
+class PacmPolicy final : public cache::EvictionPolicy {
+ public:
+  // `clock` supplies virtual "now" (remaining TTLs feed e_d); `frequencies`
+  // is the AP's live per-app tracker.
+  PacmPolicy(const ApeConfig& config, const sim::Simulator& clock,
+             const FrequencyTracker& frequencies);
+
+  void on_insert(const cache::CacheEntry& /*entry*/) override {}
+  void on_access(const cache::CacheEntry& /*entry*/) override {}
+  void on_erase(const std::string& /*key*/) override {}
+
+  [[nodiscard]] std::optional<std::vector<std::string>> select_victims(
+      const cache::CacheStore& store, const cache::CacheEntry& incoming,
+      std::size_t bytes_needed) override;
+
+  [[nodiscard]] std::string name() const override { return "PACM"; }
+
+  [[nodiscard]] const PacmDecision& last_decision() const noexcept { return last_; }
+  [[nodiscard]] std::size_t invocations() const noexcept { return invocations_; }
+
+ private:
+  ApeConfig config_;
+  const sim::Simulator& clock_;
+  const FrequencyTracker& frequencies_;
+  PacmSolver solver_;
+  PacmDecision last_;
+  std::size_t invocations_ = 0;
+};
+
+}  // namespace ape::core

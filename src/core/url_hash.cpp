@@ -1,0 +1,18 @@
+#include "core/url_hash.hpp"
+
+#include <array>
+
+namespace ape::core {
+
+std::string hash_to_string(UrlHash h) {
+  static constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                                '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace ape::core

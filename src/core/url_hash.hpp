@@ -1,0 +1,29 @@
+// URL hashing for DNS-Cache RDATA.
+//
+// The paper hashes URLs before putting them in (unencrypted) DNS messages
+// "to maintain confidentiality" (Sec. IV-B1).  We use FNV-1a 64-bit: fixed
+// width, dependency-free, stable across platforms.  Hashes are computed
+// over the *base* URL (query parameters stripped) — the cache identity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ape::core {
+
+using UrlHash = std::uint64_t;
+
+[[nodiscard]] constexpr UrlHash hash_url(std::string_view base_url) noexcept {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (char c : base_url) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+// Canonical rendering used as CacheStore keys and in logs.
+[[nodiscard]] std::string hash_to_string(UrlHash h);
+
+}  // namespace ape::core

@@ -1,0 +1,117 @@
+// DNS message structures (RFC 1035 §4) plus the DNS-Cache extensions from
+// the paper (Sec. IV-B1): a new RR TYPE 300 carried in the Additional
+// section, whose CLASS distinguishes cache REQUESTs from RESPONSEs and
+// whose RDATA is a list of <hash(URL), flag> two-tuples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dns/name.hpp"
+#include "net/address.hpp"
+
+namespace ape::dns {
+
+enum class RrType : std::uint16_t {
+  A = 1,
+  Ns = 2,
+  Cname = 5,
+  Soa = 6,
+  Ptr = 12,
+  Mx = 15,
+  Txt = 16,
+  Aaaa = 28,
+  Opt = 41,      // EDNS(0), RFC 6891
+  DnsCache = 300,  // APE-CACHE cache-lookup RR (paper Fig. 8)
+};
+
+enum class RrClass : std::uint16_t {
+  In = 1,
+  Ch = 3,
+  // APE-CACHE: the paper defines CLASS = REQUEST | RESPONSE for TYPE 300.
+  // Values chosen well clear of the IANA-assigned range.
+  CacheRequest = 0x4D01,
+  CacheResponse = 0x4D02,
+};
+
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+enum class Opcode : std::uint8_t {
+  Query = 0,
+  Status = 2,
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;   // false = query, true = response
+  Opcode opcode = Opcode::Query;
+  bool aa = false;   // authoritative answer
+  bool tc = false;   // truncated
+  bool rd = true;    // recursion desired
+  bool ra = false;   // recursion available
+  Rcode rcode = Rcode::NoError;
+  // Section counts live implicitly in the vectors below.
+};
+
+struct Question {
+  DnsName name;
+  RrType qtype = RrType::A;
+  RrClass qclass = RrClass::In;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct ResourceRecord {
+  DnsName name;
+  RrType type = RrType::A;
+  std::uint16_t rr_class = static_cast<std::uint16_t>(RrClass::In);
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+struct DnsMessage {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  [[nodiscard]] bool is_query() const noexcept { return !header.qr; }
+  [[nodiscard]] bool is_response() const noexcept { return header.qr; }
+
+  // First answer of the given type, searched in order (useful for walking
+  // CNAME chains in responses).
+  [[nodiscard]] const ResourceRecord* find_answer(RrType type) const noexcept;
+  [[nodiscard]] const ResourceRecord* find_additional(RrType type) const noexcept;
+};
+
+// --- typed RDATA helpers (records.cpp) ---------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_a_rdata(net::IpAddress ip);
+[[nodiscard]] Result<net::IpAddress> decode_a_rdata(const std::vector<std::uint8_t>& rdata);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_cname_rdata(const DnsName& target);
+[[nodiscard]] Result<DnsName> decode_cname_rdata(const std::vector<std::uint8_t>& rdata);
+
+[[nodiscard]] ResourceRecord make_a_record(const DnsName& name, net::IpAddress ip,
+                                           std::uint32_t ttl);
+[[nodiscard]] ResourceRecord make_cname_record(const DnsName& name, const DnsName& target,
+                                               std::uint32_t ttl);
+
+// EDNS(0) OPT pseudo-record advertising a UDP payload size.
+[[nodiscard]] ResourceRecord make_opt_record(std::uint16_t udp_payload_size);
+
+// Builds a response skeleton: copies id/opcode/questions, sets QR/RA.
+[[nodiscard]] DnsMessage make_response_for(const DnsMessage& query, Rcode rcode);
+
+}  // namespace ape::dns

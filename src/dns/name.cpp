@@ -1,0 +1,64 @@
+#include "dns/name.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ape::dns {
+
+namespace {
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 253;
+
+bool valid_label_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+}  // namespace
+
+Result<DnsName> DnsName::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return DnsName{};  // the root name
+  if (text.size() > kMaxName) return make_error<DnsName>("name too long");
+
+  DnsName name;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::size_t end = dot == std::string_view::npos ? text.size() : dot;
+    const std::string_view label = text.substr(start, end - start);
+    if (label.empty()) return make_error<DnsName>("empty label");
+    if (label.size() > kMaxLabel) return make_error<DnsName>("label too long");
+    if (!std::all_of(label.begin(), label.end(), valid_label_char)) {
+      return make_error<DnsName>("invalid character in label");
+    }
+    std::string lowered(label);
+    std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    name.labels_.push_back(std::move(lowered));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return name;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& label : labels_) {
+    if (!out.empty()) out += '.';
+    out += label;
+  }
+  return out;
+}
+
+bool DnsName::is_subdomain_of(const DnsName& suffix) const {
+  if (suffix.labels_.size() > labels_.size()) return false;
+  return std::equal(suffix.labels_.rbegin(), suffix.labels_.rend(), labels_.rbegin());
+}
+
+std::size_t DnsName::wire_length() const noexcept {
+  std::size_t n = 1;  // root byte
+  for (const auto& label : labels_) n += 1 + label.size();
+  return n;
+}
+
+}  // namespace ape::dns

@@ -1,0 +1,57 @@
+// Domain names as label sequences (RFC 1035 §3.1).
+//
+// Names are stored lowercased (DNS matching is case-insensitive) and
+// validated: labels 1..63 bytes, total presentation length <= 253.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ape::dns {
+
+class DnsName {
+ public:
+  DnsName() = default;
+
+  // Parses dotted presentation form ("www.apple.com", trailing dot ok).
+  [[nodiscard]] static Result<DnsName> parse(std::string_view text);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept { return labels_; }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  // True if this name equals `suffix` or ends with it ("www.apple.com"
+  // is_subdomain_of "apple.com" and "com", and of itself).
+  [[nodiscard]] bool is_subdomain_of(const DnsName& suffix) const;
+
+  // Wire-format length without compression: sum(1 + label) + 1 root byte.
+  [[nodiscard]] std::size_t wire_length() const noexcept;
+
+  friend bool operator==(const DnsName& a, const DnsName& b) noexcept = default;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+// Hash for unordered_map keys (uses the canonical dotted form).
+struct DnsNameHash {
+  std::size_t operator()(const DnsName& n) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (const auto& label : n.labels()) {
+      for (char c : label) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+      }
+      h ^= '.';
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace ape::dns

@@ -1,0 +1,173 @@
+#include "dns/zone.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace ape::dns {
+
+namespace {
+
+std::string_view strip_comment(std::string_view line) {
+  const auto semi = line.find(';');
+  if (semi != std::string_view::npos) line = line.substr(0, semi);
+  while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::istringstream in{std::string(line)};
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool is_number(const std::string& s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c);
+  });
+}
+
+// Resolves a possibly-relative name against the origin: absolute names end
+// with '.', "@" denotes the origin itself.
+Result<DnsName> resolve_name(const std::string& token, const DnsName& origin,
+                             std::size_t line_no) {
+  if (token == "@") return origin;
+  if (!token.empty() && token.back() == '.') {
+    auto name = DnsName::parse(token);
+    if (!name) {
+      return make_error<DnsName>("line " + std::to_string(line_no) + ": " +
+                                 name.error().message);
+    }
+    return name;
+  }
+  auto name = DnsName::parse(token + "." + origin.to_string());
+  if (!name) {
+    return make_error<DnsName>("line " + std::to_string(line_no) + ": " +
+                               name.error().message);
+  }
+  return name;
+}
+
+}  // namespace
+
+Result<ZoneData> parse_zone(std::string_view text) {
+  ZoneData zone;
+  bool have_origin = false;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    const auto newline = text.find('\n', start);
+    std::string_view line = newline == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, newline - start);
+    start = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+
+    line = strip_comment(line);
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) {
+        return make_error<ZoneData>("line " + std::to_string(line_no) +
+                                    ": $ORIGIN needs exactly one argument");
+      }
+      auto origin = DnsName::parse(tokens[1]);
+      if (!origin) {
+        return make_error<ZoneData>("line " + std::to_string(line_no) + ": bad origin: " +
+                                    origin.error().message);
+      }
+      zone.origin = std::move(origin.value());
+      have_origin = true;
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2 || !is_number(tokens[1])) {
+        return make_error<ZoneData>("line " + std::to_string(line_no) +
+                                    ": $TTL needs a numeric argument");
+      }
+      zone.default_ttl = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+      continue;
+    }
+    if (!have_origin) {
+      return make_error<ZoneData>("line " + std::to_string(line_no) +
+                                  ": record before $ORIGIN");
+    }
+
+    // <name> [ttl] [IN] <type> <rdata>
+    if (tokens.size() < 3) {
+      return make_error<ZoneData>("line " + std::to_string(line_no) + ": too few fields");
+    }
+    ZoneRecord record;
+    auto name = resolve_name(tokens[0], zone.origin, line_no);
+    if (!name) return make_error<ZoneData>(name.error().message);
+    record.name = std::move(name.value());
+
+    std::size_t cursor = 1;
+    record.ttl = zone.default_ttl;
+    if (cursor < tokens.size() && is_number(tokens[cursor])) {
+      record.ttl = static_cast<std::uint32_t>(std::stoul(tokens[cursor]));
+      ++cursor;
+    }
+    if (cursor < tokens.size() && (tokens[cursor] == "IN" || tokens[cursor] == "in")) {
+      ++cursor;
+    }
+    if (cursor >= tokens.size()) {
+      return make_error<ZoneData>("line " + std::to_string(line_no) + ": missing type");
+    }
+
+    const std::string& type = tokens[cursor];
+    ++cursor;
+    if (cursor >= tokens.size()) {
+      return make_error<ZoneData>("line " + std::to_string(line_no) + ": missing RDATA");
+    }
+    const std::string& rdata = tokens[cursor];
+    if (cursor + 1 != tokens.size()) {
+      return make_error<ZoneData>("line " + std::to_string(line_no) +
+                                  ": trailing fields after RDATA");
+    }
+
+    if (type == "A" || type == "a") {
+      record.type = RrType::A;
+      auto ip = net::IpAddress::parse(rdata);
+      if (!ip) {
+        return make_error<ZoneData>("line " + std::to_string(line_no) + ": bad address: " +
+                                    ip.error().message);
+      }
+      record.address = ip.value();
+    } else if (type == "CNAME" || type == "cname") {
+      record.type = RrType::Cname;
+      auto target = resolve_name(rdata, zone.origin, line_no);
+      if (!target) return make_error<ZoneData>(target.error().message);
+      record.target = std::move(target.value());
+    } else {
+      return make_error<ZoneData>("line " + std::to_string(line_no) +
+                                  ": unsupported record type '" + type + "'");
+    }
+    zone.records.push_back(std::move(record));
+  }
+
+  if (!have_origin) return make_error<ZoneData>("zone file has no $ORIGIN");
+  return zone;
+}
+
+Result<std::size_t> load_zone(AuthoritativeDnsServer& server, std::string_view text) {
+  auto zone = parse_zone(text);
+  if (!zone) return make_error<std::size_t>(zone.error().message);
+
+  server.add_zone(zone.value().origin);
+  for (const auto& record : zone.value().records) {
+    if (record.type == RrType::A) {
+      server.add_a(record.name, record.address, record.ttl);
+    } else {
+      server.add_cname(record.name, record.target, record.ttl);
+    }
+  }
+  return zone.value().records.size();
+}
+
+}  // namespace ape::dns

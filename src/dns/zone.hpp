@@ -1,0 +1,48 @@
+// RFC 1035 §5 master-file ("zone file") parser — the standard way real
+// deployments feed an authoritative server, supported here so testbeds and
+// operators can declare zones as text instead of code.
+//
+// Supported subset:
+//   $ORIGIN <name>            sets the origin appended to relative names
+//   $TTL <seconds>            default TTL for records without one
+//   <name> [ttl] [IN] A <ip>
+//   <name> [ttl] [IN] CNAME <target>
+//   ;-comments, blank lines, "@" for the origin, relative names.
+//
+// parse_zone returns structured records; load_zone feeds them into an
+// AuthoritativeDnsServer and declares the origin as a zone.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "dns/adns.hpp"
+
+namespace ape::dns {
+
+struct ZoneRecord {
+  DnsName name;
+  std::uint32_t ttl = 0;
+  RrType type = RrType::A;
+  // Exactly one of these is meaningful, per `type`.
+  net::IpAddress address;  // A
+  DnsName target;          // CNAME
+};
+
+struct ZoneData {
+  DnsName origin;
+  std::uint32_t default_ttl = 3600;
+  std::vector<ZoneRecord> records;
+};
+
+// Parses master-file text; errors carry the offending line number.
+[[nodiscard]] Result<ZoneData> parse_zone(std::string_view text);
+
+// Parses and installs: declares `origin` as a zone on `server` and adds
+// every record.  Returns the record count.
+[[nodiscard]] Result<std::size_t> load_zone(AuthoritativeDnsServer& server,
+                                            std::string_view text);
+
+}  // namespace ape::dns

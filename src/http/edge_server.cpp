@@ -1,0 +1,79 @@
+#include "http/edge_server.hpp"
+
+#include <utility>
+
+namespace ape::http {
+
+EdgeCacheServer::EdgeCacheServer(net::TcpTransport& tcp, net::NodeId node,
+                                 sim::ServiceQueue& cpu, ServiceCost cost)
+    : server_(tcp, node, net::kHttpPort, cpu, cost),
+      upstream_client_(tcp, node),
+      sim_(tcp.network().simulator()) {
+  server_.set_fallback([this](const HttpRequest& req, net::Endpoint, HttpServer::Responder r) {
+    handle(req, std::move(r));
+  });
+}
+
+void EdgeCacheServer::host(ObjectSpec spec) {
+  catalog_.add(std::move(spec));
+}
+
+void EdgeCacheServer::handle(const HttpRequest& request, HttpServer::Responder respond) {
+  const std::string base = request.url.base();
+  if (const ObjectSpec* spec = catalog_.find(base); spec != nullptr) {
+    ++hits_;
+    // Conditional request with a matching validator: 304, no body, and no
+    // origin pull — the whole point of the revalidation extension.
+    if (const auto* match = find_header(request.headers, "If-None-Match");
+        match != nullptr && *match == object_etag(*spec)) {
+      HttpResponse not_modified;
+      not_modified.status = 304;
+      not_modified.headers.emplace_back("X-Object-TTL", std::to_string(spec->ttl_seconds));
+      not_modified.headers.emplace_back("ETag", object_etag(*spec));
+      respond(std::move(not_modified));
+      return;
+    }
+    const bool origin_pull = find_header(request.headers, "X-Origin-Pull") != nullptr;
+    const sim::Duration delay = origin_pull ? spec->extra_latency : sim::Duration{0};
+    sim_.schedule_in(delay, [spec, respond = std::move(respond)] {
+      respond(make_object_response(*spec, true));
+    });
+    return;
+  }
+
+  ++misses_;
+  if (!upstream_) {
+    respond(make_status_response(404, "object not at edge"));
+    return;
+  }
+
+  // Rewrite the request toward the origin, keep the path identity.
+  HttpRequest upstream_req = request;
+  upstream_client_.fetch(*upstream_, std::move(upstream_req),
+                         [this, base, respond = std::move(respond)](Result<HttpResponse> result,
+                                                                    FetchTiming) mutable {
+                           if (!result || !result.value().ok()) {
+                             respond(make_status_response(502, "origin fetch failed"));
+                             return;
+                           }
+                           HttpResponse resp = std::move(result.value());
+                           // Ingest into the (unbounded) edge catalog.
+                           ObjectSpec spec;
+                           spec.base_url = base;
+                           spec.size_bytes = resp.total_body_bytes();
+                           if (const auto* ttl = find_header(resp.headers, "X-Object-TTL")) {
+                             spec.ttl_seconds = static_cast<std::uint32_t>(std::stoul(*ttl));
+                           }
+                           if (const auto* prio =
+                                   find_header(resp.headers, "X-Object-Priority")) {
+                             spec.priority = std::stoi(*prio);
+                           }
+                           if (const auto* app = find_header(resp.headers, "X-Object-App")) {
+                             spec.app_id = static_cast<std::uint32_t>(std::stoul(*app));
+                           }
+                           catalog_.add(std::move(spec));
+                           respond(std::move(resp));
+                         });
+}
+
+}  // namespace ape::http

@@ -1,0 +1,46 @@
+// Edge cache server.
+//
+// Per the paper's evaluation assumption (Sec. V-A) the edge has "ample"
+// capacity: objects preloaded into (or fetched through) it are never
+// evicted.  Client-facing requests are warm cache hits and cost pure
+// network time (Fig. 11c's ~30 ms edge retrieval).  Cache-fill pulls —
+// requests carrying the X-Origin-Pull header, issued by the APE-CACHE
+// delegation path and the Wi-Cache prefetcher — additionally pay the
+// object's configured backend latency (the paper's per-object "retrieval
+// latency" of 20-50 ms), modeling the origin fetch behind the edge that a
+// cold copy requires.  On a true miss with an upstream origin configured,
+// the edge fetches, stores, and responds (the Fig. 1 flow).
+#pragma once
+
+#include "http/origin_server.hpp"
+
+namespace ape::http {
+
+class EdgeCacheServer {
+ public:
+  EdgeCacheServer(net::TcpTransport& tcp, net::NodeId node, sim::ServiceQueue& cpu,
+                  ServiceCost cost = {});
+
+  // Preload: the object is served as a HIT from the start.
+  void host(ObjectSpec spec);
+  // Optional origin for misses.
+  void set_upstream(net::Endpoint origin) noexcept { upstream_ = origin; }
+
+  [[nodiscard]] const ObjectCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t requests_served() const noexcept { return server_.requests_served(); }
+
+ private:
+  void handle(const HttpRequest& request, HttpServer::Responder respond);
+
+  HttpServer server_;
+  HttpClient upstream_client_;
+  ObjectCatalog catalog_;
+  std::optional<net::Endpoint> upstream_;
+  sim::Simulator& sim_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace ape::http

@@ -1,0 +1,104 @@
+#include "http/endpoint.hpp"
+
+#include <utility>
+
+namespace ape::http {
+
+HttpServer::HttpServer(net::TcpTransport& tcp, net::NodeId node, net::Port port,
+                       sim::ServiceQueue& cpu, ServiceCost cost)
+    : tcp_(tcp), node_(node), port_(port), cpu_(cpu), cost_(cost) {
+  tcp_.listen(node_, port_,
+              [this](const net::TcpMessage& msg, net::Endpoint peer, net::TcpResponder respond) {
+                auto request = HttpRequest::from_tcp(msg);
+                if (!request) {
+                  respond(make_status_response(400, request.error().message).to_tcp());
+                  return;
+                }
+                // Charge CPU before the handler runs; the response is free to
+                // arrive asynchronously afterwards.
+                cpu_.submit(cost_.for_bytes(msg.wire_size()),
+                            [this, req = std::move(request.value()), peer,
+                             respond = std::move(respond)]() mutable {
+                              dispatch(req, peer, [respond = std::move(respond)](
+                                                      HttpResponse resp) {
+                                respond(resp.to_tcp());
+                              });
+                            });
+              });
+}
+
+HttpServer::~HttpServer() {
+  tcp_.stop_listening(node_, port_);
+}
+
+void HttpServer::route(std::string path_prefix, Handler handler) {
+  routes_.emplace_back(std::move(path_prefix), std::move(handler));
+}
+
+void HttpServer::set_fallback(Handler handler) {
+  fallback_ = std::move(handler);
+}
+
+void HttpServer::dispatch(const HttpRequest& request, net::Endpoint peer, Responder respond) {
+  ++requests_;
+  const Handler* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, handler] : routes_) {
+    if (request.url.path.starts_with(prefix) && prefix.size() >= best_len) {
+      best = &handler;
+      best_len = prefix.size();
+    }
+  }
+  if (best != nullptr) {
+    (*best)(request, peer, std::move(respond));
+  } else if (fallback_) {
+    fallback_(request, peer, std::move(respond));
+  } else {
+    respond(make_status_response(404, "no route"));
+  }
+}
+
+HttpClient::HttpClient(net::TcpTransport& tcp, net::NodeId node) : tcp_(tcp), node_(node) {}
+
+void HttpClient::fetch(net::Endpoint server, HttpRequest request, FetchHandler handler) {
+  sim::Simulator& clock = tcp_.network().simulator();
+  const sim::Time started = clock.now();
+
+  tcp_.connect(node_, server,
+               [&clock, started, req = std::move(request), handler = std::move(handler)](
+                   Result<net::TcpConnectionPtr> conn) mutable {
+                 if (!conn) {
+                   FetchTiming timing;
+                   timing.connect = clock.now() - started;
+                   timing.first_byte = timing.connect;
+                   handler(make_error<HttpResponse>(conn.error().message), timing);
+                   return;
+                 }
+                 const sim::Duration connect_time = clock.now() - started;
+                 net::TcpConnectionPtr connection = std::move(conn.value());
+                 net::TcpConnection& ref = *connection;
+                 ref.send_request(
+                     req.to_tcp(),
+                     // The connection handle is captured so it stays open for
+                     // the duration of the exchange.
+                     [&clock, started, connect_time, connection = std::move(connection),
+                      handler = std::move(handler)](Result<net::TcpMessage> response) mutable {
+                       FetchTiming timing;
+                       timing.connect = connect_time;
+                       timing.first_byte = clock.now() - started;
+                       connection->close();
+                       if (!response) {
+                         handler(make_error<HttpResponse>(response.error().message), timing);
+                         return;
+                       }
+                       auto parsed = HttpResponse::from_tcp(response.value());
+                       if (!parsed) {
+                         handler(make_error<HttpResponse>(parsed.error().message), timing);
+                         return;
+                       }
+                       handler(std::move(parsed.value()), timing);
+                     });
+               });
+}
+
+}  // namespace ape::http

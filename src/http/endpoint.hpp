@@ -1,0 +1,82 @@
+// HTTP client/server endpoints over the simulated TCP transport.
+//
+// Server requests are charged to the node's CPU (base cost + per-kB cost),
+// which is how serving traffic shows up in the Fig. 2 / Fig. 14 resource
+// plots and why retrieval latency climbs with request frequency (Fig. 11c).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+#include "net/tcp.hpp"
+#include "sim/service_queue.hpp"
+
+namespace ape::http {
+
+struct ServiceCost {
+  sim::Duration base{sim::microseconds(300)};
+  sim::Duration per_kilobyte{sim::microseconds(10)};
+
+  [[nodiscard]] sim::Duration for_bytes(std::size_t bytes) const noexcept {
+    return base + sim::Duration{per_kilobyte.count() *
+                                static_cast<std::int64_t>(bytes / 1024)};
+  }
+};
+
+class HttpServer {
+ public:
+  using Responder = std::function<void(HttpResponse)>;
+  using Handler = std::function<void(const HttpRequest&, net::Endpoint peer, Responder)>;
+
+  HttpServer(net::TcpTransport& tcp, net::NodeId node, net::Port port, sim::ServiceQueue& cpu,
+             ServiceCost cost = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Longest-prefix route on the request path; later routes win ties.
+  void route(std::string path_prefix, Handler handler);
+  void set_fallback(Handler handler);
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::size_t requests_served() const noexcept { return requests_; }
+
+ private:
+  void dispatch(const HttpRequest& request, net::Endpoint peer, Responder respond);
+
+  net::TcpTransport& tcp_;
+  net::NodeId node_;
+  net::Port port_;
+  sim::ServiceQueue& cpu_;
+  ServiceCost cost_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  Handler fallback_;
+  std::size_t requests_ = 0;
+};
+
+struct FetchTiming {
+  sim::Duration connect{0};     // TCP initiation -> established
+  sim::Duration first_byte{0};  // TCP initiation -> response arrival
+};
+
+class HttpClient {
+ public:
+  HttpClient(net::TcpTransport& tcp, net::NodeId node);
+
+  using FetchHandler = std::function<void(Result<HttpResponse>, FetchTiming)>;
+
+  // One-shot fetch: connect, send, receive, close — matching the paper's
+  // per-object retrieval measurement (TCP initiation to first byte read).
+  void fetch(net::Endpoint server, HttpRequest request, FetchHandler handler);
+
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+
+ private:
+  net::TcpTransport& tcp_;
+  net::NodeId node_;
+};
+
+}  // namespace ape::http

@@ -1,0 +1,52 @@
+// HTTP/1.1-style messages over the simulated TCP transport.
+//
+// Headers and the request line are serialized as real bytes (they size the
+// wire); bodies are modeled by size so a 500 kB thumbnail never has to be
+// materialized.  A small inline `body` string is available for control
+// payloads (delegation requests, tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "http/url.hpp"
+#include "net/tcp.hpp"
+
+namespace ape::http {
+
+using Headers = std::vector<std::pair<std::string, std::string>>;
+
+[[nodiscard]] const std::string* find_header(const Headers& headers, const std::string& name);
+
+struct HttpRequest {
+  std::string method = "GET";
+  Url url;
+  Headers headers;
+  std::string body;                      // inline control payloads only
+  std::size_t simulated_body_bytes = 0;  // modeled payload size
+
+  [[nodiscard]] net::TcpMessage to_tcp() const;
+  [[nodiscard]] static Result<HttpRequest> from_tcp(const net::TcpMessage& msg);
+};
+
+struct HttpResponse {
+  int status = 200;
+  Headers headers;
+  std::string body;
+  std::size_t simulated_body_bytes = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return status >= 200 && status < 300; }
+  [[nodiscard]] std::size_t total_body_bytes() const noexcept {
+    return body.size() + simulated_body_bytes;
+  }
+
+  [[nodiscard]] net::TcpMessage to_tcp() const;
+  [[nodiscard]] static Result<HttpResponse> from_tcp(const net::TcpMessage& msg);
+};
+
+[[nodiscard]] HttpResponse make_status_response(int status, std::string reason = {});
+
+}  // namespace ape::http

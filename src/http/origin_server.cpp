@@ -1,0 +1,64 @@
+#include "http/origin_server.hpp"
+
+#include <utility>
+
+namespace ape::http {
+
+void ObjectCatalog::add(ObjectSpec spec) {
+  auto key = spec.base_url;
+  by_url_.insert_or_assign(std::move(key), std::move(spec));
+}
+
+const ObjectSpec* ObjectCatalog::find(const std::string& base_url) const {
+  auto it = by_url_.find(base_url);
+  return it == by_url_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ObjectSpec*> ObjectCatalog::all() const {
+  std::vector<const ObjectSpec*> out;
+  out.reserve(by_url_.size());
+  for (const auto& [_, spec] : by_url_) out.push_back(&spec);
+  return out;
+}
+
+HttpResponse make_object_response(const ObjectSpec& spec, bool cache_hit) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.simulated_body_bytes = spec.size_bytes;
+  resp.headers.emplace_back("X-Object-TTL", std::to_string(spec.ttl_seconds));
+  resp.headers.emplace_back("X-Object-Priority", std::to_string(spec.priority));
+  resp.headers.emplace_back("X-Object-App", std::to_string(spec.app_id));
+  resp.headers.emplace_back("X-Cache", cache_hit ? "HIT" : "MISS");
+  resp.headers.emplace_back("ETag", object_etag(spec));
+  return resp;
+}
+
+std::string object_etag(const ObjectSpec& spec) {
+  // Objects are immutable for a given (url, size) in this model; a real
+  // deployment would hash content.
+  return "\"" + std::to_string(spec.size_bytes) + "-" +
+         std::to_string(spec.base_url.size()) + "\"";
+}
+
+OriginServer::OriginServer(net::TcpTransport& tcp, net::NodeId node, sim::ServiceQueue& cpu,
+                           ServiceCost cost)
+    : server_(tcp, node, net::kHttpPort, cpu, cost), sim_(tcp.network().simulator()) {
+  server_.set_fallback([this](const HttpRequest& req, net::Endpoint, HttpServer::Responder r) {
+    handle(req, std::move(r));
+  });
+}
+
+void OriginServer::handle(const HttpRequest& request, HttpServer::Responder respond) {
+  const ObjectSpec* spec = catalog_.find(request.url.base());
+  if (spec == nullptr) {
+    respond(make_status_response(404, "unknown object"));
+    return;
+  }
+  // The extra latency models backend work / upstream distance; it delays
+  // the response without occupying this node's CPU.
+  sim_.schedule_in(spec->extra_latency, [spec, respond = std::move(respond)] {
+    respond(make_object_response(*spec, false));
+  });
+}
+
+}  // namespace ape::http

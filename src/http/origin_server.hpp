@@ -1,0 +1,63 @@
+// Object catalog + origin server.
+//
+// ObjectSpec is the system-wide description of a cacheable object: its base
+// URL identity, byte size, TTL, developer priority, and the extra backend
+// latency the paper's evaluation attaches to each object ("hosted on our
+// edge server, with an added delay (retrieval latency)", Sec. V-A).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "http/endpoint.hpp"
+
+namespace ape::http {
+
+struct ObjectSpec {
+  std::string base_url;            // cache identity (Url::base form)
+  std::size_t size_bytes = 0;
+  std::uint32_t ttl_seconds = 600;
+  int priority = 1;                // 1 = low, 2 = high (paper Sec. IV-A)
+  std::uint32_t app_id = 0;
+  sim::Duration extra_latency{0};  // simulated backend distance
+};
+
+class ObjectCatalog {
+ public:
+  void add(ObjectSpec spec);
+  [[nodiscard]] const ObjectSpec* find(const std::string& base_url) const;
+  [[nodiscard]] std::size_t size() const noexcept { return by_url_.size(); }
+  [[nodiscard]] std::vector<const ObjectSpec*> all() const;
+
+ private:
+  std::unordered_map<std::string, ObjectSpec> by_url_;
+};
+
+// Serves a catalog over HTTP: 200 + modeled body after the object's
+// extra_latency, 404 for unknown URLs.  Responses carry the object's TTL
+// and priority as headers so downstream caches can ingest them.
+class OriginServer {
+ public:
+  OriginServer(net::TcpTransport& tcp, net::NodeId node, sim::ServiceQueue& cpu,
+               ServiceCost cost = {});
+
+  [[nodiscard]] ObjectCatalog& catalog() noexcept { return catalog_; }
+  [[nodiscard]] const ObjectCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] std::size_t requests_served() const noexcept { return server_.requests_served(); }
+
+ private:
+  void handle(const HttpRequest& request, HttpServer::Responder respond);
+
+  HttpServer server_;
+  ObjectCatalog catalog_;
+  sim::Simulator& sim_;
+};
+
+// Builds the standard 200 response for a catalog object.
+[[nodiscard]] HttpResponse make_object_response(const ObjectSpec& spec, bool cache_hit);
+// Validator used for conditional requests (If-None-Match / 304).
+[[nodiscard]] std::string object_etag(const ObjectSpec& spec);
+
+}  // namespace ape::http

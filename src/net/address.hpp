@@ -1,0 +1,67 @@
+// Addressing primitives: node identities, IPv4 addresses, endpoints.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace ape::net {
+
+// Opaque handle for a simulated machine (phone, AP, edge server, ...).
+struct NodeId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(NodeId, NodeId) noexcept = default;
+};
+
+inline constexpr NodeId kInvalidNode{0xFFFFFFFFu};
+
+struct IpAddress {
+  std::uint32_t v4 = 0;  // host byte order
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static Result<IpAddress> parse(const std::string& dotted);
+  [[nodiscard]] static constexpr IpAddress from_octets(std::uint8_t a, std::uint8_t b,
+                                                       std::uint8_t c, std::uint8_t d) noexcept {
+    return IpAddress{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                     (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept { return v4 == 0; }
+
+  friend constexpr auto operator<=>(IpAddress, IpAddress) noexcept = default;
+};
+
+// The dummy address APE-CACHE returns when it short-circuits upstream DNS
+// resolution (paper Sec. IV-B3).  TEST-NET-2 is guaranteed non-routable.
+inline constexpr IpAddress kDummyIp = IpAddress::from_octets(198, 51, 100, 1);
+
+using Port = std::uint16_t;
+
+inline constexpr Port kDnsPort = 53;
+inline constexpr Port kHttpPort = 80;
+
+struct Endpoint {
+  IpAddress ip;
+  Port port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  friend constexpr auto operator<=>(Endpoint, Endpoint) noexcept = default;
+};
+
+}  // namespace ape::net
+
+template <>
+struct std::hash<ape::net::NodeId> {
+  std::size_t operator()(ape::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<ape::net::IpAddress> {
+  std::size_t operator()(ape::net::IpAddress ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.v4);
+  }
+};

@@ -1,0 +1,9 @@
+#include "net/datagram.hpp"
+
+namespace ape::net {
+
+std::size_t Datagram::size_bytes() const noexcept {
+  return payload.size() + kUdpOverheadBytes;
+}
+
+}  // namespace ape::net

@@ -1,0 +1,25 @@
+// UDP-like datagram primitives carried by the Network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+
+namespace ape::net {
+
+using Payload = std::vector<std::uint8_t>;
+
+struct Datagram {
+  Endpoint source;
+  Endpoint destination;
+  Payload payload;
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept;
+};
+
+// UDP/IP framing overhead added to every datagram's wire size
+// (IPv4 20 B + UDP 8 B).
+inline constexpr std::size_t kUdpOverheadBytes = 28;
+
+}  // namespace ape::net

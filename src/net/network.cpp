@@ -1,0 +1,120 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace ape::net {
+
+std::string IpAddress::to_string() const {
+  std::ostringstream os;
+  os << ((v4 >> 24) & 0xFF) << '.' << ((v4 >> 16) & 0xFF) << '.' << ((v4 >> 8) & 0xFF) << '.'
+     << (v4 & 0xFF);
+  return os.str();
+}
+
+Result<IpAddress> IpAddress::parse(const std::string& dotted) {
+  std::uint32_t octets[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= dotted.size()) return make_error<IpAddress>("truncated IPv4 literal");
+    std::size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(dotted.substr(pos), &consumed, 10);
+    } catch (...) {
+      return make_error<IpAddress>("invalid IPv4 octet");
+    }
+    if (consumed == 0 || value > 255) return make_error<IpAddress>("invalid IPv4 octet");
+    octets[i] = static_cast<std::uint32_t>(value);
+    pos += consumed;
+    if (i < 3) {
+      if (pos >= dotted.size() || dotted[pos] != '.') {
+        return make_error<IpAddress>("expected '.' in IPv4 literal");
+      }
+      ++pos;
+    }
+  }
+  if (pos != dotted.size()) return make_error<IpAddress>("trailing characters in IPv4 literal");
+  return IpAddress{(octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]};
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+Network::Network(sim::Simulator& sim, Topology& topology) : sim_(sim), topology_(topology) {}
+
+void Network::assign_ip(NodeId node, IpAddress ip) {
+  assert(!ip_to_node_.contains(ip) && "IP already assigned");
+  assert(!node_to_ip_.contains(node) && "node already has an IP");
+  ip_to_node_.emplace(ip, node);
+  node_to_ip_.emplace(node, ip);
+}
+
+std::optional<NodeId> Network::owner_of(IpAddress ip) const {
+  auto it = ip_to_node_.find(ip);
+  if (it == ip_to_node_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<IpAddress> Network::ip_of(NodeId node) const {
+  auto it = node_to_ip_.find(node);
+  if (it == node_to_ip_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Network::bind_udp(NodeId node, Port port, DatagramHandler handler) {
+  assert(handler);
+  udp_bindings_[bind_key(node, port)] = std::move(handler);
+}
+
+void Network::unbind_udp(NodeId node, Port port) {
+  udp_bindings_.erase(bind_key(node, port));
+}
+
+std::optional<sim::Duration> Network::transfer_delay(NodeId from, NodeId to,
+                                                     std::size_t bytes) const {
+  const auto info = topology_.path(from, to);
+  if (!info) return std::nullopt;
+  const double serialize_s =
+      info->bottleneck_bandwidth > 0.0
+          ? static_cast<double>(bytes) / info->bottleneck_bandwidth
+          : 0.0;
+  return info->one_way_latency + sim::seconds(serialize_s);
+}
+
+bool Network::send_datagram(NodeId from, Port source_port, Endpoint to, Payload payload) {
+  ++counters_.datagrams_sent;
+  const auto source_ip = ip_of(from);
+  const auto dest_node = owner_of(to.ip);
+  if (!source_ip || !dest_node) {
+    ++counters_.datagrams_dropped;
+    return false;
+  }
+
+  Datagram dgram;
+  dgram.source = Endpoint{*source_ip, source_port};
+  dgram.destination = to;
+  dgram.payload = std::move(payload);
+
+  const auto delay = transfer_delay(from, *dest_node, dgram.size_bytes());
+  if (!delay) {
+    ++counters_.datagrams_dropped;
+    return false;
+  }
+
+  const NodeId target = *dest_node;
+  sim_.schedule_in(*delay, [this, target, d = std::move(dgram)]() mutable {
+    auto it = udp_bindings_.find(bind_key(target, d.destination.port));
+    if (it == udp_bindings_.end()) {
+      ++counters_.datagrams_dropped;
+      return;
+    }
+    ++counters_.datagrams_delivered;
+    it->second(d);
+  });
+  return true;
+}
+
+}  // namespace ape::net

@@ -1,0 +1,67 @@
+// Datagram (UDP-like) delivery over a Topology, driven by the Simulator.
+//
+// Delivery time = path one-way latency + wire-size / bottleneck bandwidth.
+// Unroutable destinations and unbound ports drop silently (UDP semantics)
+// but are counted, so tests can assert on loss.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/datagram.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace ape::net {
+
+class Network {
+ public:
+  using DatagramHandler = std::function<void(const Datagram&)>;
+
+  Network(sim::Simulator& sim, Topology& topology);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // One IP per node; reassigning a node's IP or reusing an IP is a bug.
+  void assign_ip(NodeId node, IpAddress ip);
+  [[nodiscard]] std::optional<NodeId> owner_of(IpAddress ip) const;
+  [[nodiscard]] std::optional<IpAddress> ip_of(NodeId node) const;
+
+  void bind_udp(NodeId node, Port port, DatagramHandler handler);
+  void unbind_udp(NodeId node, Port port);
+
+  // Sends `payload` from `from`'s IP:source_port to `to`.  Returns false if
+  // the datagram was dropped immediately (no route / unknown destination);
+  // handler-level drops (unbound port) happen at delivery time.
+  bool send_datagram(NodeId from, Port source_port, Endpoint to, Payload payload);
+
+  // Time for `bytes` to cross from->to including propagation.
+  [[nodiscard]] std::optional<sim::Duration> transfer_delay(NodeId from, NodeId to,
+                                                            std::size_t bytes) const;
+
+  struct Counters {
+    std::size_t datagrams_sent = 0;
+    std::size_t datagrams_delivered = 0;
+    std::size_t datagrams_dropped = 0;
+  };
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+ private:
+  [[nodiscard]] std::uint64_t bind_key(NodeId node, Port port) const noexcept {
+    return (std::uint64_t{node.value} << 16) | port;
+  }
+
+  sim::Simulator& sim_;
+  Topology& topology_;
+  std::unordered_map<IpAddress, NodeId> ip_to_node_;
+  std::unordered_map<NodeId, IpAddress> node_to_ip_;
+  std::unordered_map<std::uint64_t, DatagramHandler> udp_bindings_;
+  Counters counters_;
+};
+
+}  // namespace ape::net

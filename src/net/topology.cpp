@@ -1,0 +1,136 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace ape::net {
+
+NodeId Topology::add_node(std::string name) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(std::move(name));
+  transit_.push_back(true);
+  adjacency_.emplace_back();
+  path_cache_.clear();
+  return id;
+}
+
+void Topology::set_transit(NodeId node, bool forwards) {
+  assert(node.value < nodes_.size());
+  transit_[node.value] = forwards;
+  path_cache_.clear();
+}
+
+bool Topology::transit(NodeId node) const {
+  assert(node.value < nodes_.size());
+  return transit_[node.value];
+}
+
+void Topology::add_link(NodeId a, NodeId b, LinkSpec spec) {
+  assert(a.value < nodes_.size() && b.value < nodes_.size());
+  assert(a != b && "self-links are not meaningful");
+  auto upsert = [this, &spec](NodeId from, NodeId to) {
+    for (Edge& e : adjacency_[from.value]) {
+      if (e.peer == to.value) {
+        e.spec = spec;
+        e.down = false;
+        return;
+      }
+    }
+    adjacency_[from.value].push_back(Edge{to.value, spec, false});
+  };
+  upsert(a, b);
+  upsert(b, a);
+  path_cache_.clear();
+}
+
+void Topology::add_multi_hop_path(NodeId a, NodeId b, std::size_t hops,
+                                  sim::Duration per_hop_latency, double bandwidth) {
+  assert(hops >= 1);
+  const LinkSpec spec{per_hop_latency, bandwidth};
+  NodeId prev = a;
+  for (std::size_t i = 0; i + 1 < hops; ++i) {
+    const NodeId router =
+        add_node(nodes_[a.value] + "-" + nodes_[b.value] + "-r" + std::to_string(i));
+    add_link(prev, router, spec);
+    prev = router;
+  }
+  add_link(prev, b, spec);
+}
+
+void Topology::set_link_down(NodeId a, NodeId b, bool down) {
+  assert(a.value < nodes_.size() && b.value < nodes_.size());
+  auto flip = [this, down](NodeId from, NodeId to) {
+    for (Edge& e : adjacency_[from.value]) {
+      if (e.peer == to.value) e.down = down;
+    }
+  };
+  flip(a, b);
+  flip(b, a);
+  path_cache_.clear();
+}
+
+bool Topology::link_exists(NodeId a, NodeId b) const {
+  if (a.value >= adjacency_.size()) return false;
+  return std::any_of(adjacency_[a.value].begin(), adjacency_[a.value].end(),
+                     [&](const Edge& e) { return e.peer == b.value && !e.down; });
+}
+
+std::optional<PathInfo> Topology::path(NodeId from, NodeId to) const {
+  assert(from.value < nodes_.size() && to.value < nodes_.size());
+  if (from == to) return PathInfo{0, sim::Duration{0}, std::numeric_limits<double>::infinity()};
+
+  const std::uint64_t key = pair_key(from, to);
+  if (auto it = path_cache_.find(key); it != path_cache_.end()) return it->second;
+
+  // Dijkstra on latency; carries hop count and bottleneck bandwidth along.
+  struct State {
+    std::int64_t dist_us;
+    std::uint32_t node;
+    bool operator<(const State& other) const noexcept {
+      return dist_us > other.dist_us;  // min-heap
+    }
+  };
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(nodes_.size(), kInf);
+  std::vector<std::size_t> hops(nodes_.size(), 0);
+  std::vector<double> bw(nodes_.size(), std::numeric_limits<double>::infinity());
+  std::priority_queue<State> pq;
+  dist[from.value] = 0;
+  pq.push(State{0, from.value});
+
+  while (!pq.empty()) {
+    const State s = pq.top();
+    pq.pop();
+    if (s.dist_us != dist[s.node]) continue;
+    if (s.node == to.value) break;
+    // Non-transit nodes terminate paths: only the source may forward.
+    if (s.node != from.value && !transit_[s.node]) continue;
+    for (const Edge& e : adjacency_[s.node]) {
+      if (e.down) continue;
+      const std::int64_t nd = s.dist_us + e.spec.one_way_latency.count();
+      const std::size_t nh = hops[s.node] + 1;
+      if (nd < dist[e.peer] || (nd == dist[e.peer] && nh < hops[e.peer])) {
+        dist[e.peer] = nd;
+        hops[e.peer] = nh;
+        bw[e.peer] = std::min(bw[s.node], e.spec.bandwidth_bytes_per_sec);
+        pq.push(State{nd, e.peer});
+      }
+    }
+  }
+
+  std::optional<PathInfo> result;
+  if (dist[to.value] != kInf) {
+    result = PathInfo{hops[to.value], sim::Duration{dist[to.value]}, bw[to.value]};
+  }
+  path_cache_.emplace(key, result);
+  return result;
+}
+
+const std::string& Topology::node_name(NodeId id) const {
+  assert(id.value < nodes_.size());
+  return nodes_[id.value];
+}
+
+}  // namespace ape::net

@@ -1,0 +1,79 @@
+// Network topology: named nodes joined by links with latency/bandwidth.
+//
+// Paths are shortest-latency (Dijkstra, hop count as tie-break) and cached;
+// the testbed in Fig. 9 is tiny, but the WAN used for Table I has a few
+// dozen nodes, so generality is cheap and useful.
+//
+// Links can be marked down for failure-injection tests; path caches are
+// invalidated on any mutation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/time.hpp"
+
+namespace ape::net {
+
+struct LinkSpec {
+  sim::Duration one_way_latency{0};
+  double bandwidth_bytes_per_sec = 125'000'000.0;  // 1 Gbps default
+};
+
+struct PathInfo {
+  std::size_t hops = 0;                      // link count
+  sim::Duration one_way_latency{0};          // sum over links
+  double bottleneck_bandwidth = 0.0;         // min over links
+  [[nodiscard]] sim::Duration rtt() const noexcept { return one_way_latency + one_way_latency; }
+};
+
+class Topology {
+ public:
+  NodeId add_node(std::string name);
+
+  // Adds a bidirectional link; replaces the spec if the link exists.
+  void add_link(NodeId a, NodeId b, LinkSpec spec);
+
+  // Convenience: a chain of `hops` links each with `per_hop_latency`,
+  // materializing intermediate router nodes.  Returns nothing; the path
+  // between a and b will traverse the chain.
+  void add_multi_hop_path(NodeId a, NodeId b, std::size_t hops,
+                          sim::Duration per_hop_latency, double bandwidth);
+
+  void set_link_down(NodeId a, NodeId b, bool down);
+  [[nodiscard]] bool link_exists(NodeId a, NodeId b) const;
+
+  // End hosts do not forward packets: a non-transit node can source and
+  // sink traffic but never appears in the middle of a path.  Defaults to
+  // transit-enabled (routers, APs); fixtures mark servers/clients as hosts.
+  void set_transit(NodeId node, bool forwards);
+  [[nodiscard]] bool transit(NodeId node) const;
+
+  // Shortest path by latency; nullopt when disconnected.
+  [[nodiscard]] std::optional<PathInfo> path(NodeId from, NodeId to) const;
+
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Edge {
+    std::uint32_t peer;
+    LinkSpec spec;
+    bool down = false;
+  };
+
+  [[nodiscard]] std::uint64_t pair_key(NodeId a, NodeId b) const noexcept {
+    return (std::uint64_t{a.value} << 32) | b.value;
+  }
+
+  std::vector<std::string> nodes_;
+  std::vector<bool> transit_;
+  std::vector<std::vector<Edge>> adjacency_;
+  mutable std::unordered_map<std::uint64_t, std::optional<PathInfo>> path_cache_;
+};
+
+}  // namespace ape::net

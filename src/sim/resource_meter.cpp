@@ -1,0 +1,79 @@
+#include "sim/resource_meter.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ape::sim {
+
+ResourceMeter::ResourceMeter(Simulator& sim, std::size_t cpu_capacity)
+    : sim_(sim), cpu_capacity_(cpu_capacity == 0 ? 1 : cpu_capacity) {}
+
+void ResourceMeter::add_cpu_source(CpuSource src) {
+  cpu_sources_.push_back(std::move(src));
+}
+
+void ResourceMeter::add_memory_source(MemorySource src) {
+  memory_sources_.push_back(std::move(src));
+}
+
+void ResourceMeter::start(Duration interval, Time until) {
+  interval_ = interval;
+  until_ = until;
+  last_sample_time_ = sim_.now();
+  last_busy_total_ = Duration{0};
+  for (const auto& src : cpu_sources_) last_busy_total_ += src();
+  sim_.schedule_in(interval_, [this] { take_sample(); });
+}
+
+void ResourceMeter::take_sample() {
+  Duration busy_total{0};
+  for (const auto& src : cpu_sources_) busy_total += src();
+  std::size_t mem_bytes = 0;
+  for (const auto& src : memory_sources_) mem_bytes += src();
+
+  const Duration window = sim_.now() - last_sample_time_;
+  Sample s;
+  s.at = sim_.now();
+  if (window.count() > 0) {
+    const double busy = to_seconds(busy_total - last_busy_total_);
+    const double cap = to_seconds(window) * static_cast<double>(cpu_capacity_);
+    s.cpu_utilization = std::clamp(busy / cap, 0.0, 1.0);
+  }
+  s.memory_mb = static_cast<double>(mem_bytes) / (1024.0 * 1024.0);
+  samples_.push_back(s);
+
+  last_sample_time_ = sim_.now();
+  last_busy_total_ = busy_total;
+
+  if (sim_.now() + interval_ <= until_) {
+    sim_.schedule_in(interval_, [this] { take_sample(); });
+  }
+}
+
+double ResourceMeter::mean_cpu() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : samples_) acc += s.cpu_utilization;
+  return acc / static_cast<double>(samples_.size());
+}
+
+double ResourceMeter::peak_cpu() const {
+  double best = 0.0;
+  for (const auto& s : samples_) best = std::max(best, s.cpu_utilization);
+  return best;
+}
+
+double ResourceMeter::mean_memory_mb() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : samples_) acc += s.memory_mb;
+  return acc / static_cast<double>(samples_.size());
+}
+
+double ResourceMeter::peak_memory_mb() const {
+  double best = 0.0;
+  for (const auto& s : samples_) best = std::max(best, s.memory_mb);
+  return best;
+}
+
+}  // namespace ape::sim

@@ -1,0 +1,57 @@
+// Periodic CPU/memory sampler for a simulated device.
+//
+// CPU sources report *cumulative busy time* (ServiceQueue::busy_time);
+// the meter differentiates across its sampling window to get utilization.
+// Memory sources report instantaneous bytes (cache occupancy, per-flow
+// state, runtime baselines).  Reproduces the measurement loops behind the
+// paper's Fig. 2 and Fig. 14.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ape::sim {
+
+class ResourceMeter {
+ public:
+  using CpuSource = std::function<Duration()>;     // cumulative busy time
+  using MemorySource = std::function<std::size_t()>;  // bytes, instantaneous
+
+  explicit ResourceMeter(Simulator& sim, std::size_t cpu_capacity = 1);
+
+  void add_cpu_source(CpuSource src);
+  void add_memory_source(MemorySource src);
+
+  struct Sample {
+    Time at;
+    double cpu_utilization = 0.0;  // 0..1, of total capacity
+    double memory_mb = 0.0;
+  };
+
+  // Samples every `interval` until `until`; call before Simulator::run.
+  void start(Duration interval, Time until);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] double mean_cpu() const;
+  [[nodiscard]] double peak_cpu() const;
+  [[nodiscard]] double mean_memory_mb() const;
+  [[nodiscard]] double peak_memory_mb() const;
+
+ private:
+  void take_sample();
+
+  Simulator& sim_;
+  std::size_t cpu_capacity_;  // number of "cores" feeding the sources
+  std::vector<CpuSource> cpu_sources_;
+  std::vector<MemorySource> memory_sources_;
+  std::vector<Sample> samples_;
+  Duration interval_{0};
+  Time until_{};
+  Time last_sample_time_{};
+  Duration last_busy_total_{0};
+};
+
+}  // namespace ape::sim

@@ -1,0 +1,52 @@
+// Seedable random source for workload generation.
+//
+// Wraps one mt19937_64 so an experiment is fully determined by a single
+// seed, and adds the distributions the paper's evaluation needs:
+// uniform sizes/TTLs, exponential inter-arrivals, and the Zipf popularity
+// distribution used to pick which app runs next (paper Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ape::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+  [[nodiscard]] bool bernoulli(double p);
+  // Exponential with the given mean (inter-arrival gaps for Poisson traffic).
+  [[nodiscard]] double exponential(double mean);
+
+  // Fisher-Yates over indices [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// Zipf(s) sampler over ranks {0, .., n-1}: P(k) ∝ 1/(k+1)^s.
+// Precomputes the CDF once; sampling is a binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] double probability(std::size_t rank) const;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ape::sim

@@ -1,0 +1,49 @@
+#include "sim/service_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ape::sim {
+
+ServiceQueue::ServiceQueue(Simulator& sim, std::size_t servers)
+    : sim_(sim), servers_(servers == 0 ? 1 : servers) {}
+
+void ServiceQueue::submit(Duration service_time, Callback done) {
+  assert(service_time.count() >= 0);
+  if (busy_ < servers_) {
+    start(Job{service_time, std::move(done)});
+  } else {
+    waiting_.push_back(Job{service_time, std::move(done)});
+  }
+}
+
+void ServiceQueue::submit(Duration service_time) {
+  submit(service_time, Callback{});
+}
+
+void ServiceQueue::start(Job job) {
+  ++busy_;
+  busy_time_ += job.service;
+  const Duration service = job.service;
+  // Move the callback into the completion event; `this` outlives the
+  // simulator run by construction (queues are owned by node objects that
+  // own their simulator references).
+  sim_.schedule_in(service,
+                   [this, service, done = std::move(job.done)]() mutable {
+                     finish(service, std::move(done));
+                   });
+}
+
+void ServiceQueue::finish(Duration /*service*/, Callback done) {
+  assert(busy_ > 0);
+  --busy_;
+  ++completed_;
+  if (!waiting_.empty()) {
+    Job next = std::move(waiting_.front());
+    waiting_.pop_front();
+    start(std::move(next));
+  }
+  if (done) done();
+}
+
+}  // namespace ape::sim

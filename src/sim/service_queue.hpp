@@ -1,0 +1,67 @@
+// Single-resource FIFO service queue — the model of a router CPU.
+//
+// Every operation an AP performs (forwarding a packet, answering a DNS
+// query, serving a cached object, running PACM) is submitted with a service
+// time; jobs queue when the resource is busy.  This is what makes latency
+// rise with request frequency (paper Fig. 11) and what the CPU-utilization
+// plots (Figs. 2 and 14) are measured from.
+//
+// `servers` > 1 models a multi-core SoC (the GL-MT1300's MT7621A is
+// dual-core); jobs still complete in FIFO submission order per server.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ape::sim {
+
+class ServiceQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  ServiceQueue(Simulator& sim, std::size_t servers = 1);
+
+  // Enqueues a job needing `service_time` of the resource; `done` fires when
+  // the job finishes (after queueing + service).
+  void submit(Duration service_time, Callback done);
+
+  // Record resource usage without a completion callback (e.g. background
+  // packet forwarding that nobody waits on).
+  void submit(Duration service_time);
+
+  // Meters resource usage without occupying a server slot: for data-path
+  // work that overlaps with DMA/softirq processing and therefore never
+  // head-of-line-blocks request handling, but still shows up in CPU
+  // utilization (Figs. 2 and 14).
+  void account(Duration busy_time) noexcept { busy_time_ += busy_time; }
+
+  [[nodiscard]] std::size_t queued() const noexcept { return waiting_.size(); }
+  [[nodiscard]] std::size_t busy_servers() const noexcept { return busy_; }
+
+  // Cumulative busy time across all servers since construction — the CPU
+  // meter differentiates this to get utilization per sampling window.
+  [[nodiscard]] Duration busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] std::size_t jobs_completed() const noexcept { return completed_; }
+
+ private:
+  struct Job {
+    Duration service;
+    Callback done;  // may be empty
+  };
+
+  void start(Job job);
+  void finish(Duration service, Callback done);
+
+  Simulator& sim_;
+  std::size_t servers_;
+  std::size_t busy_ = 0;
+  std::deque<Job> waiting_;
+  Duration busy_time_{0};
+  std::size_t completed_ = 0;
+};
+
+}  // namespace ape::sim

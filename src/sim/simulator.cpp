@@ -1,0 +1,83 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace ape::sim {
+
+std::string format_time(Time t) {
+  const double s = t.seconds();
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << s << "s";
+  return os.str();
+}
+
+Simulator::EventId Simulator::schedule_at(Time at, Callback fn) {
+  assert(fn && "scheduling an empty callback");
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+Simulator::EventId Simulator::schedule_in(Duration delay, Callback fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  return callbacks_.erase(id) > 0;
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // tombstone from cancel()
+      continue;
+    }
+    // Move the callback out *before* popping/erasing so a callback that
+    // schedules new events (almost all do) never invalidates our state.
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    queue_.pop();
+    now_ = ev.at;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (fire_next()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones at the head so their timestamps don't stall us.
+    const Event ev = queue_.top();
+    if (!callbacks_.contains(ev.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (deadline < ev.at) break;
+    if (fire_next()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t Simulator::step(std::size_t n) {
+  std::size_t fired = 0;
+  while (fired < n && fire_next()) ++fired;
+  return fired;
+}
+
+}  // namespace ape::sim

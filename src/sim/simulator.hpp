@@ -1,0 +1,78 @@
+// Deterministic discrete-event simulator.
+//
+// Single-threaded event loop over a priority queue keyed by (time, seq):
+// two events at the same virtual instant fire in scheduling order, which
+// keeps runs bit-reproducible regardless of container iteration order.
+//
+// Usage:
+//   Simulator sim;
+//   sim.schedule_in(milliseconds(5), []{ ... });
+//   sim.run();                       // drain all events
+//   sim.run_until(Time{seconds(3600)});
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+namespace ape::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  // Schedules `fn` at absolute time `at`; times in the past are clamped to
+  // "now" (the event still fires, after currently queued same-time events).
+  EventId schedule_at(Time at, Callback fn);
+  EventId schedule_in(Duration delay, Callback fn);
+
+  // Best-effort cancellation (lazy: the slot is tombstoned, popped later).
+  // Returns false when the event already fired or was never scheduled.
+  bool cancel(EventId id);
+
+  // Runs until the queue drains. Returns the number of events fired.
+  std::size_t run();
+  // Runs events with time <= deadline; clock lands exactly on `deadline`.
+  std::size_t run_until(Time deadline);
+  // Fires at most `n` events.
+  std::size_t step(std::size_t n = 1);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+  [[nodiscard]] std::size_t events_fired() const noexcept { return fired_; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    EventId id;
+    // Ordering for std::priority_queue (max-heap): invert so the earliest
+    // (then lowest seq) event is on top.
+    friend bool operator<(const Event& a, const Event& b) noexcept {
+      if (a.at != b.at) return b.at < a.at;
+      return b.seq < a.seq;
+    }
+  };
+
+  // Pops queue entries until one with a live callback fires; returns false
+  // when only tombstones (or nothing) remained.
+  bool fire_next();
+
+  Time now_{};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t fired_ = 0;
+};
+
+}  // namespace ape::sim

@@ -1,0 +1,23 @@
+// Minimal RFC4180-style CSV writer; benches can optionally dump raw series
+// (e.g. the Fig 2 / Fig 14 time series) next to the ASCII tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ape::stats {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os);
+
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace ape::stats

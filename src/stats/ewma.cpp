@@ -1,0 +1,23 @@
+#include "stats/ewma.hpp"
+
+#include <algorithm>
+
+namespace ape::stats {
+
+Ewma::Ewma(double alpha) noexcept : alpha_(std::clamp(alpha, 0.0, 1.0)) {}
+
+void Ewma::observe(double value) noexcept {
+  if (!seeded_) {
+    value_ = value;
+    seeded_ = true;
+    return;
+  }
+  value_ = (1.0 - alpha_) * value_ + alpha_ * value;
+}
+
+void Ewma::reset() noexcept {
+  value_ = 0.0;
+  seeded_ = false;
+}
+
+}  // namespace ape::stats

@@ -1,0 +1,29 @@
+// Exponentially-weighted moving average used by PACM's request-frequency
+// tracker (paper Sec. IV-C): R(a) = (1 - alpha) * R'(a) + alpha * r_a(dt).
+//
+// Note the paper weights the *newest* observation by alpha (0.7 in the
+// reference implementation), i.e. recency-heavy.
+#pragma once
+
+namespace ape::stats {
+
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.7) noexcept;
+
+  // Folds one observation in.  The first observation seeds the average.
+  void observe(double value) noexcept;
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  void reset() noexcept;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace ape::stats

@@ -1,0 +1,87 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ape::stats {
+
+void Histogram::record(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+}
+
+double Histogram::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  if (lo == hi) return sorted_[lo];
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::size_t> Histogram::buckets(std::size_t n_buckets) const {
+  std::vector<std::size_t> out(n_buckets, 0);
+  if (samples_.empty() || n_buckets == 0) return out;
+  const double lo = min();
+  const double hi = max();
+  const double width = (hi - lo) / static_cast<double>(n_buckets);
+  if (width <= 0.0) {
+    out[0] = samples_.size();
+    return out;
+  }
+  for (double v : samples_) {
+    auto idx = static_cast<std::size_t>((v - lo) / width);
+    if (idx >= n_buckets) idx = n_buckets - 1;
+    ++out[idx];
+  }
+  return out;
+}
+
+}  // namespace ape::stats

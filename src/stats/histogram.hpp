@@ -1,0 +1,53 @@
+// Sample-collecting histogram with exact percentiles.
+//
+// The evaluation harness records per-request latencies; experiment tables
+// need mean / p50 / p95 / p99 and occasionally full distributions.  Samples
+// are kept exactly (double) — experiment sample counts are bounded (<1e7),
+// so exact order statistics are affordable and avoid HDR bucketing error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ape::stats {
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::string unit) : unit_(std::move(unit)) {}
+
+  void record(double value);
+  void merge(const Histogram& other);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  // Exact order statistic with linear interpolation; q in [0, 1].
+  // Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] const std::string& unit() const noexcept { return unit_; }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+  // Equal-width bucket counts over [min, max] — used by example binaries to
+  // render quick ASCII distributions.
+  [[nodiscard]] std::vector<std::size_t> buckets(std::size_t n_buckets) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  std::string unit_;
+};
+
+}  // namespace ape::stats

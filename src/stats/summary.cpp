@@ -1,0 +1,30 @@
+#include "stats/summary.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "stats/histogram.hpp"
+
+namespace ape::stats {
+
+Summary Summary::of(const Histogram& h) {
+  Summary s;
+  s.count = h.count();
+  s.mean = h.mean();
+  s.p50 = h.percentile(0.50);
+  s.p95 = h.percentile(0.95);
+  s.p99 = h.percentile(0.99);
+  s.min = h.min();
+  s.max = h.max();
+  return s;
+}
+
+std::string Summary::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  os << "n=" << count << " mean=" << mean << " p50=" << p50 << " p95=" << p95
+     << " p99=" << p99 << " min=" << min << " max=" << max;
+  return os.str();
+}
+
+}  // namespace ape::stats

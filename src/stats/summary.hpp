@@ -1,0 +1,25 @@
+// Compact latency summary derived from a Histogram — the unit every
+// experiment table row is built from.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ape::stats {
+
+class Histogram;
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] static Summary of(const Histogram& h);
+  [[nodiscard]] std::string to_string(int precision = 2) const;
+};
+
+}  // namespace ape::stats

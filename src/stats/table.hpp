@@ -1,0 +1,31 @@
+// Aligned ASCII table printer — every bench binary renders its paper table
+// through this so outputs are uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ape::stats {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  Table& header(std::vector<std::string> columns);
+  Table& row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with fixed precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ape::stats

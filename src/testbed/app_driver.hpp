@@ -1,0 +1,51 @@
+// Executes one run of an app's request DAG against an ObjectFetcher and
+// measures the app-level latency (makespan + UI composition).
+#pragma once
+
+#include <functional>
+
+#include "baselines/system_interface.hpp"
+#include "workload/app_model.hpp"
+
+namespace ape::testbed {
+
+// One fetched object's outcome, annotated with its workload context.
+struct ObjectRecord {
+  std::string request_name;
+  int priority = 1;
+  core::ClientRuntime::FetchResult result;
+};
+
+struct AppRunResult {
+  // App-level latency (the paper's responsiveness metric): the user sees
+  // the result once the *critical path* — the priority-2 chain identified
+  // at development time (Sec. III-A) — completes and the UI composes;
+  // remaining low-priority fetches fill in progressively.
+  sim::Duration app_latency{0};
+  // Full makespan: every request done + composition.
+  sim::Duration full_makespan{0};
+  std::size_t fetches = 0;
+  std::size_t failures = 0;
+  std::vector<ObjectRecord> objects;
+};
+
+class AppDriver {
+ public:
+  AppDriver(sim::Simulator& sim, const workload::AppSpec& app,
+            baselines::ObjectFetcher& fetcher);
+
+  using DoneHandler = std::function<void(AppRunResult)>;
+
+  // Starts one run; many runs may be in flight concurrently (each call
+  // allocates its own run state).
+  void run_once(DoneHandler done);
+
+  [[nodiscard]] const workload::AppSpec& app() const noexcept { return app_; }
+
+ private:
+  sim::Simulator& sim_;
+  const workload::AppSpec app_;  // copied: runs outlive callers' specs
+  baselines::ObjectFetcher& fetcher_;
+};
+
+}  // namespace ape::testbed

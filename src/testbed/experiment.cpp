@@ -1,0 +1,94 @@
+#include "testbed/experiment.hpp"
+
+#include <memory>
+
+namespace ape::testbed {
+
+SystemRunResult run_workload(Testbed& testbed, const std::vector<workload::AppSpec>& apps,
+                             const WorkloadConfig& config, bool account_passthrough) {
+  auto result = std::make_shared<SystemRunResult>();
+  result->system = to_string(testbed.params().system);
+
+  const std::size_t client_count = config.client_count == 0 ? 1 : config.client_count;
+  std::vector<Testbed::Client*> clients;
+  clients.reserve(client_count);
+  for (std::size_t i = 0; i < client_count; ++i) {
+    clients.push_back(&testbed.add_client("client-" + std::to_string(i)));
+  }
+
+  std::vector<std::unique_ptr<AppDriver>> drivers;
+  drivers.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const auto& app = apps[i];
+    testbed.host_app(app);
+    Testbed::Client& client = *clients[i % client_count];
+    for (auto& spec : app.cacheables()) client.runtime->register_cacheable(spec);
+    drivers.push_back(
+        std::make_unique<AppDriver>(testbed.simulator(), app, *client.fetcher));
+  }
+
+  // Pre-roll the arrival schedule and plant every run into the simulator.
+  sim::Rng rng(config.seed);
+  workload::ArrivalSchedule arrivals(apps.size(), config.mean_freq_per_min,
+                                     config.zipf_exponent, rng);
+  const sim::Time horizon{config.duration};
+  Testbed* tb = &testbed;
+
+  auto on_run_done = [result, tb, account_passthrough](AppRunResult run) {
+    ++result->app_runs;
+    result->app_latency_ms.record(sim::to_millis(run.app_latency));
+    for (const auto& obj : run.objects) {
+      const auto& r = obj.result;
+      ++result->object_fetches;
+      if (!r.success) {
+        ++result->failures;
+        continue;
+      }
+      const double lookup = sim::to_millis(r.lookup_latency);
+      const double retrieval = sim::to_millis(r.retrieval_latency);
+      const double total = sim::to_millis(r.total);
+      result->lookup_ms.record(lookup);
+      result->retrieval_ms.record(retrieval);
+      result->total_ms.record(total);
+
+      const bool ap_served = r.source == core::ClientRuntime::Source::ApCache;
+      if (ap_served) {
+        result->ap_hit_lookup_ms.record(lookup);
+        result->ap_hit_retrieval_ms.record(retrieval);
+        result->ap_hit_total_ms.record(total);
+        ++result->ap_hits;
+      } else if (r.source == core::ClientRuntime::Source::EdgeServer) {
+        result->edge_lookup_ms.record(lookup);
+        result->edge_retrieval_ms.record(retrieval);
+        result->edge_total_ms.record(total);
+        if (account_passthrough) tb->account_passthrough(r.bytes);
+      }
+      if (obj.priority >= 2) {
+        ++result->high_priority_fetches;
+        if (ap_served) ++result->high_priority_ap_hits;
+      }
+    }
+  };
+
+  while (auto arrival = arrivals.next(horizon)) {
+    AppDriver* driver = drivers[arrival->app_index].get();
+    testbed.simulator().schedule_at(arrival->at, [driver, on_run_done] {
+      driver->run_once(on_run_done);
+    });
+  }
+
+  // Grace period lets in-flight runs (worst case: delegation + timeouts)
+  // complete before aggregation.
+  testbed.simulator().run_until(horizon + sim::seconds(30.0));
+  return std::move(*result);
+}
+
+SystemRunResult run_system(System system, TestbedParams params,
+                           const std::vector<workload::AppSpec>& apps,
+                           const WorkloadConfig& config, bool account_passthrough) {
+  params.system = system;
+  Testbed testbed(std::move(params));
+  return run_workload(testbed, apps, config, account_passthrough);
+}
+
+}  // namespace ape::testbed

@@ -1,0 +1,71 @@
+// Experiment harness shared by the bench binaries: runs a workload (a set
+// of apps with Zipf-distributed Poisson arrivals) against one testbed and
+// aggregates the paper's metrics.
+#pragma once
+
+#include "stats/histogram.hpp"
+#include "testbed/app_driver.hpp"
+#include "testbed/testbed.hpp"
+#include "workload/arrivals.hpp"
+
+namespace ape::testbed {
+
+struct WorkloadConfig {
+  double mean_freq_per_min = 3.0;   // paper default
+  double zipf_exponent = 0.8;
+  sim::Duration duration{sim::minutes(60)};
+  std::uint64_t seed = 42;
+  // Client devices behind the AP (Fig. 9 uses two phones + an emulator
+  // desktop = 3); apps are distributed round-robin across them.
+  std::size_t client_count = 1;
+};
+
+struct SystemRunResult {
+  std::string system;
+  std::size_t app_runs = 0;
+  stats::Histogram app_latency_ms;
+
+  // Per-object metrics over every cacheable fetch.
+  std::size_t object_fetches = 0;
+  std::size_t failures = 0;
+  stats::Histogram lookup_ms;
+  stats::Histogram retrieval_ms;
+  stats::Histogram total_ms;
+
+  // Conditioned on where the object came from.
+  stats::Histogram ap_hit_lookup_ms, ap_hit_retrieval_ms, ap_hit_total_ms;
+  stats::Histogram edge_lookup_ms, edge_retrieval_ms, edge_total_ms;
+
+  // Client-observed cache effectiveness (AP-served == hit).
+  std::size_t ap_hits = 0;
+  std::size_t high_priority_fetches = 0;
+  std::size_t high_priority_ap_hits = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return object_fetches == 0
+               ? 0.0
+               : static_cast<double>(ap_hits) / static_cast<double>(object_fetches);
+  }
+  [[nodiscard]] double high_priority_hit_ratio() const noexcept {
+    return high_priority_fetches == 0
+               ? 0.0
+               : static_cast<double>(high_priority_ap_hits) /
+                     static_cast<double>(high_priority_fetches);
+  }
+};
+
+// Hosts `apps` on the testbed, drives them for `config.duration`, returns
+// the aggregated metrics.  `account_passthrough` controls whether edge
+// fetches charge the AP's forwarding path (on for resource experiments).
+[[nodiscard]] SystemRunResult run_workload(Testbed& testbed,
+                                           const std::vector<workload::AppSpec>& apps,
+                                           const WorkloadConfig& config,
+                                           bool account_passthrough = false);
+
+// Convenience: builds a fresh testbed for `system` and runs the workload.
+[[nodiscard]] SystemRunResult run_system(System system, TestbedParams params,
+                                         const std::vector<workload::AppSpec>& apps,
+                                         const WorkloadConfig& config,
+                                         bool account_passthrough = false);
+
+}  // namespace ape::testbed

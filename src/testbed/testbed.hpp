@@ -1,0 +1,144 @@
+// The evaluation testbed of paper Fig. 9, in simulation:
+//
+//   phones/desktop --WiFi--> AP (GL-MT1300) --7 hops--> edge cache server
+//                             |--upstream--> LDNS --> ADNS / CDN DNS
+//                             |--12 hops--> Wi-Cache controller (EC2)
+//
+// One Testbed instance realizes one system-under-test (the AP either runs
+// APE-CACHE with PACM, APE-CACHE with LRU, the Wi-Cache agent, or nothing
+// but stock DNS forwarding), so experiments build one Testbed per compared
+// system with identical seeds and workloads.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/ape_lru_system.hpp"
+#include "baselines/edge_cache_system.hpp"
+#include "baselines/wicache_system.hpp"
+#include "core/ap_runtime.hpp"
+#include "dns/adns.hpp"
+#include "dns/cdn_dns.hpp"
+#include "dns/ldns.hpp"
+#include "http/edge_server.hpp"
+#include "sim/resource_meter.hpp"
+#include "workload/app_model.hpp"
+
+namespace ape::testbed {
+
+enum class System { ApeCache, ApeCacheLru, WiCache, EdgeCache };
+
+[[nodiscard]] const char* to_string(System system) noexcept;
+
+struct TestbedParams {
+  System system = System::ApeCache;
+  core::ApeConfig ape;
+
+  // Link calibration (defaults reproduce the paper's measured latencies:
+  // AP lookup ~7.5 ms, AP retrieval ~7 ms, edge retrieval ~31 ms, edge DNS
+  // ~22 ms, Wi-Cache controller lookup ~26 ms).
+  sim::Duration wifi_one_way{sim::microseconds(1750)};
+  double wifi_bandwidth = 30e6;              // ~240 Mbps effective
+  std::size_t edge_hops = 7;
+  sim::Duration edge_per_hop{sim::microseconds(1070)};
+  double wan_bandwidth = 60e6;
+  std::size_t controller_hops = 12;
+  sim::Duration controller_per_hop{sim::microseconds(1070)};
+  sim::Duration ldns_one_way{sim::microseconds(7000)};
+  sim::Duration adns_from_ldns{sim::microseconds(15000)};
+  sim::Duration cdn_dns_from_ldns{sim::microseconds(2000)};
+
+  // Akamai-style per-query server selection: mapping answers are not
+  // cacheable, so every edge lookup pays the resolver chain (Sec. II-B).
+  std::uint32_t cdn_answer_ttl = 0;
+  std::uint32_t cname_ttl = 3600;
+
+  std::size_t wicache_capacity_bytes = 5 * 1000 * 1000;
+
+  // Ablation hook: overrides the AP cache policy implied by `system`
+  // (e.g. run the APE-CACHE workflow with GDSF or FIFO management).
+  std::optional<core::ApRuntime::Policy> policy_override;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedParams params);
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // --- workload wiring ------------------------------------------------------
+  // Hosts the app's objects on the edge server and publishes its domain in
+  // the DNS hierarchy (CNAME into the CDN namespace -> edge server A).
+  void host_app(const workload::AppSpec& app);
+
+  struct Client {
+    net::NodeId node;
+    std::unique_ptr<core::ClientRuntime> runtime;
+    std::unique_ptr<baselines::WiCacheFetcher> wicache;
+    std::unique_ptr<baselines::ObjectFetcher> fetcher;  // facade for `system`
+  };
+
+  // Adds a phone/emulator attached to the AP and returns its fetcher facade
+  // matching the testbed's system.
+  Client& add_client(const std::string& name);
+
+  // --- accessors --------------------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] net::TcpTransport& tcp() noexcept { return *tcp_; }
+  [[nodiscard]] core::ApRuntime& ap() noexcept { return *ap_; }
+  [[nodiscard]] http::EdgeCacheServer& edge() noexcept { return *edge_; }
+  [[nodiscard]] dns::LocalDnsServer& ldns() noexcept { return *ldns_; }
+  [[nodiscard]] baselines::WiCacheController* wicache_controller() noexcept {
+    return wicache_controller_.get();
+  }
+  [[nodiscard]] baselines::WiCacheApAgent* wicache_agent() noexcept {
+    return wicache_agent_.get();
+  }
+  [[nodiscard]] const TestbedParams& params() const noexcept { return params_; }
+  [[nodiscard]] net::IpAddress ap_ip() const noexcept { return ap_ip_; }
+  [[nodiscard]] net::IpAddress edge_ip() const noexcept { return edge_ip_; }
+
+  // Resource meter over the AP (Fig. 2 / Fig. 14); call before running.
+  [[nodiscard]] sim::ResourceMeter& meter_ap(sim::Duration interval, sim::Time until);
+
+  // Pass-through forwarding accounting: charge the AP's CPU for client
+  // traffic that merely transits it (edge fetches).
+  void account_passthrough(std::size_t bytes);
+
+ private:
+  void build_topology();
+  void build_dns();
+  void build_servers();
+
+  TestbedParams params_;
+  sim::Simulator sim_;
+  net::Topology topology_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::TcpTransport> tcp_;
+
+  // nodes
+  net::NodeId ap_node_{}, edge_node_{}, ldns_node_{}, adns_node_{}, cdn_dns_node_{},
+      controller_node_{};
+  net::IpAddress ap_ip_{}, edge_ip_{}, ldns_ip_{}, adns_ip_{}, cdn_dns_ip_{}, controller_ip_{};
+
+  // per-node CPUs (other than the AP's, which lives in ApRuntime)
+  std::unique_ptr<sim::ServiceQueue> edge_cpu_, ldns_cpu_, adns_cpu_, cdn_cpu_, controller_cpu_;
+
+  std::unique_ptr<core::ApRuntime> ap_;
+  std::unique_ptr<http::EdgeCacheServer> edge_;
+  std::unique_ptr<dns::LocalDnsServer> ldns_;
+  std::unique_ptr<dns::AuthoritativeDnsServer> adns_;
+  std::unique_ptr<dns::CdnDnsServer> cdn_dns_;
+  std::unique_ptr<baselines::WiCacheController> wicache_controller_;
+  std::unique_ptr<baselines::WiCacheApAgent> wicache_agent_;
+  std::unique_ptr<sim::ResourceMeter> meter_;
+
+  std::vector<std::unique_ptr<Client>> clients_;
+  net::Port next_client_port_ = 49152;
+  std::uint32_t next_client_ip_suffix_ = 100;
+};
+
+}  // namespace ape::testbed

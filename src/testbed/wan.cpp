@@ -1,0 +1,237 @@
+#include "testbed/wan.hpp"
+
+#include <memory>
+
+namespace ape::testbed {
+
+namespace {
+
+// Calibration targets from the paper's Table I.
+struct PairSpec {
+  double dns_ms;    // average DNS resolution
+  double rtt_ms;    // ping RTT to the resolved server
+  std::size_t hops; // one-way hop count
+  bool has_cache;   // false -> resolves to the origin (Yahoo / São Paulo)
+};
+
+// [location][service]: Michigan, Tokyo, São Paulo x Apple, Microsoft, Yahoo.
+constexpr PairSpec kPairs[3][3] = {
+    {{18, 34, 13, true}, {19, 33, 13, true}, {21, 53, 16, true}},
+    {{18, 22, 7, true}, {26, 27, 10, true}, {27, 93, 13, true}},
+    {{20, 19, 12, true}, {26, 19, 10, true}, {226, 156, 15, false}},
+};
+
+constexpr double kClientLdnsOneWayMs = 2.0;   // client <-> local resolver
+constexpr net::Port kEchoPort = 7;
+constexpr net::Port kPingPort = 30007;
+
+}  // namespace
+
+net::IpAddress WanFixture::fresh_ip() {
+  const std::uint32_t n = next_ip_++;
+  return net::IpAddress::from_octets(172, static_cast<std::uint8_t>(16 + (n >> 16)),
+                                     static_cast<std::uint8_t>(n >> 8),
+                                     static_cast<std::uint8_t>(n));
+}
+
+WanFixture::WanFixture() {
+  network_ = std::make_unique<net::Network>(sim_, topology_);
+  build();
+}
+
+void WanFixture::build() {
+  const double wan_bw = 60e6;
+
+  // Locations: client + LDNS each.  All WAN endpoints are hosts, not
+  // routers — they never forward third-party traffic.
+  for (const auto& name : location_names_) {
+    Location loc;
+    loc.name = name;
+    loc.client = topology_.add_node("client-" + name);
+    loc.ldns_node = topology_.add_node("ldns-" + name);
+    topology_.set_transit(loc.client, false);
+    topology_.set_transit(loc.ldns_node, false);
+    topology_.add_link(loc.client, loc.ldns_node,
+                       net::LinkSpec{sim::milliseconds(kClientLdnsOneWayMs), wan_bw});
+    loc.client_ip = fresh_ip();
+    loc.ldns_ip = fresh_ip();
+    network_->assign_ip(loc.client, loc.client_ip);
+    network_->assign_ip(loc.ldns_node, loc.ldns_ip);
+    loc.ldns_cpu = std::make_unique<sim::ServiceQueue>(sim_, 4);
+    loc.ldns = std::make_unique<dns::LocalDnsServer>(*network_, loc.ldns_node, *loc.ldns_cpu,
+                                                     sim::microseconds(200));
+    loc.resolver = std::make_unique<dns::StubResolver>(
+        *network_, loc.client, net::Endpoint{loc.ldns_ip, net::kDnsPort}, 30053);
+    locations_.push_back(std::move(loc));
+  }
+
+  // Services: provider ADNS + CDN mapping DNS (+ origin) each.
+  const std::string domains[3] = {"www.apple.com", "www.microsoft.com", "www.yahoo.com"};
+  const std::string cdn_suffixes[3] = {"edgekey.net", "edgesuite.net", "akadns.net"};
+  for (std::size_t s = 0; s < 3; ++s) {
+    Service svc;
+    svc.name = service_names_[s];
+    svc.domain = dns::DnsName::parse(domains[s]).value();
+    svc.cdn_name = dns::DnsName::parse(domains[s] + "." + cdn_suffixes[s]).value();
+    svc.adns_node = topology_.add_node("adns-" + svc.name);
+    svc.cdn_dns_node = topology_.add_node("cdn-dns-" + svc.name);
+    svc.origin_node = topology_.add_node("origin-" + svc.name);
+    topology_.set_transit(svc.adns_node, false);
+    topology_.set_transit(svc.cdn_dns_node, false);
+    topology_.set_transit(svc.origin_node, false);
+    network_->assign_ip(svc.adns_node, fresh_ip());
+    network_->assign_ip(svc.cdn_dns_node, fresh_ip());
+    svc.origin_ip = fresh_ip();
+    network_->assign_ip(svc.origin_node, svc.origin_ip);
+
+    svc.adns_cpu = std::make_unique<sim::ServiceQueue>(sim_, 4);
+    svc.cdn_cpu = std::make_unique<sim::ServiceQueue>(sim_, 4);
+    svc.adns = std::make_unique<dns::AuthoritativeDnsServer>(*network_, svc.adns_node,
+                                                             *svc.adns_cpu,
+                                                             sim::microseconds(150));
+    svc.adns->add_zone(svc.domain);
+    svc.adns->add_cname(svc.domain, svc.cdn_name, 3600);
+    svc.cdn_dns = std::make_unique<dns::CdnDnsServer>(*network_, svc.cdn_dns_node,
+                                                      *svc.cdn_cpu, sim::microseconds(150));
+    // Akamai-style per-query mapping: not cacheable.
+    svc.cdn_dns->set_answer_ttl(0);
+    svc.cdn_dns->add_service(svc.cdn_name, svc.origin_ip);
+
+    // Echo responders for ping.
+    auto echo = [this](const net::Datagram& d) {
+      const auto node = network_->owner_of(d.destination.ip);
+      if (node) network_->send_datagram(*node, kEchoPort, d.source, d.payload);
+    };
+    network_->bind_udp(svc.origin_node, kEchoPort, echo);
+
+    services_.push_back(std::move(svc));
+  }
+
+  // Wire each (location, service) pair with calibrated latencies.
+  for (std::size_t l = 0; l < locations_.size(); ++l) {
+    Location& loc = locations_[l];
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      Service& svc = services_[s];
+      const PairSpec& spec = kPairs[l][s];
+      const std::string region = loc.name;
+
+      // DNS chain: LDNS -> CDN DNS latency makes up the bulk of the
+      // (uncacheable) resolution; ADNS sits a bit farther out but its
+      // CNAME is cached after the first query.
+      const double cdn_one_way_ms = (spec.dns_ms - 2.0 * kClientLdnsOneWayMs - 0.8) / 2.0;
+      topology_.add_link(loc.ldns_node, svc.cdn_dns_node,
+                         net::LinkSpec{sim::milliseconds(cdn_one_way_ms), 60e6});
+      topology_.add_link(loc.ldns_node, svc.adns_node,
+                         net::LinkSpec{sim::milliseconds(cdn_one_way_ms + 10.0), 60e6});
+      loc.ldns->add_delegation(svc.domain, net::Endpoint{
+          network_->ip_of(svc.adns_node).value(), net::kDnsPort});
+      loc.ldns->add_delegation(dns::DnsName::parse(cdn_suffixes[s]).value(),
+                               net::Endpoint{network_->ip_of(svc.cdn_dns_node).value(),
+                                             net::kDnsPort});
+      svc.cdn_dns->set_region_of(loc.ldns_ip, region);
+
+      if (spec.has_cache) {
+        add_cache_server(svc, region, loc, spec.hops, spec.rtt_ms);
+      } else {
+        // No regional deployment: CDN maps this region to the origin, far
+        // away over the published hop count.
+        topology_.add_multi_hop_path(loc.client, svc.origin_node, spec.hops,
+                                     sim::milliseconds(spec.rtt_ms / (2.0 *
+                                         static_cast<double>(spec.hops))),
+                                     60e6);
+      }
+    }
+  }
+}
+
+void WanFixture::add_cache_server(Service& service, const std::string& region,
+                                  Location& location, std::size_t hops, double rtt_ms) {
+  const net::NodeId server =
+      topology_.add_node("cache-" + service.name + "-" + region);
+  topology_.set_transit(server, false);
+  const net::IpAddress ip = fresh_ip();
+  network_->assign_ip(server, ip);
+  topology_.add_multi_hop_path(location.client, server, hops,
+                               sim::milliseconds(rtt_ms / (2.0 * static_cast<double>(hops))),
+                               60e6);
+  network_->bind_udp(server, kEchoPort, [this](const net::Datagram& d) {
+    const auto node = network_->owner_of(d.destination.ip);
+    if (node) network_->send_datagram(*node, kEchoPort, d.source, d.payload);
+  });
+  service.cdn_dns->add_cache_server(service.cdn_name, region, ip);
+}
+
+void WanFixture::ping(Location& location, net::IpAddress target, std::size_t count,
+                      stats::Histogram& rtt_ms) {
+  // One outstanding echo at a time, sequential.
+  struct PingState {
+    std::size_t remaining;
+    sim::Time sent{};
+  };
+  auto state = std::make_shared<PingState>();
+  state->remaining = count;
+
+  auto send_next = std::make_shared<std::function<void()>>();
+  network_->bind_udp(location.client, kPingPort,
+                     [this, state, &rtt_ms, send_next](const net::Datagram&) {
+                       rtt_ms.record(sim::to_millis(sim_.now() - state->sent));
+                       if (--state->remaining > 0) (*send_next)();
+                     });
+  *send_next = [this, &location, target, state] {
+    state->sent = sim_.now();
+    network_->send_datagram(location.client, kPingPort, net::Endpoint{target, kEchoPort},
+                            net::Payload{0x50, 0x49, 0x4E, 0x47});
+  };
+  (*send_next)();
+  sim_.run();
+  network_->unbind_udp(location.client, kPingPort);
+}
+
+std::vector<WanFixture::Measurement> WanFixture::measure(std::size_t query_count,
+                                                         sim::Duration spacing) {
+  std::vector<Measurement> results;
+
+  for (std::size_t l = 0; l < locations_.size(); ++l) {
+    Location& loc = locations_[l];
+    for (std::size_t s = 0; s < services_.size(); ++s) {
+      Service& svc = services_[s];
+      Measurement m;
+      m.location = loc.name;
+      m.service = svc.name;
+
+      stats::Histogram dns_ms("ms");
+      auto resolved_ip = std::make_shared<net::IpAddress>();
+
+      // `query_count` resolutions spaced wider than any mapping TTL.
+      for (std::size_t q = 0; q < query_count; ++q) {
+        const sim::Time at = sim_.now() + spacing;
+        sim_.schedule_at(at, [this, &loc, &svc, &dns_ms, resolved_ip] {
+          const sim::Time started = sim_.now();
+          loc.resolver->resolve(svc.domain,
+                                [this, started, &dns_ms, resolved_ip](
+                                    Result<dns::ResolveResult> result) {
+                                  dns_ms.record(sim::to_millis(sim_.now() - started));
+                                  if (result) *resolved_ip = result.value().address;
+                                });
+        });
+        sim_.run();
+      }
+      m.dns_resolution_ms = dns_ms.mean();
+      m.served_from_origin = *resolved_ip == svc.origin_ip;
+
+      // Ping + hop count to the resolved address.
+      stats::Histogram rtt("ms");
+      ping(loc, *resolved_ip, 20, rtt);
+      m.rtt_ms = rtt.mean();
+      const auto owner = network_->owner_of(*resolved_ip);
+      if (owner) {
+        const auto path = topology_.path(loc.client, *owner);
+        if (path) m.hops = path->hops;
+      }
+      results.push_back(std::move(m));
+    }
+  }
+  return results;
+}
+
+}  // namespace ape::testbed

@@ -1,0 +1,99 @@
+// WAN fixture reproducing the paper's Table I measurement (Sec. II-B):
+// clients in Michigan / Tokyo / São Paulo resolving and pinging the Akamai
+// properties of Apple, Microsoft and Yahoo.
+//
+// Per service the DNS chain is the real one (Fig. 1): provider ADNS
+// answers with a CNAME into the CDN namespace; the CDN's mapping DNS
+// returns the cache server assigned to the querying resolver's region —
+// or the origin when the region has no deployment (Yahoo in São Paulo).
+// Link latencies/hop counts are calibrated against the published table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/adns.hpp"
+#include "dns/cdn_dns.hpp"
+#include "dns/ldns.hpp"
+#include "dns/stub_resolver.hpp"
+#include "stats/histogram.hpp"
+#include "testbed/testbed.hpp"
+
+namespace ape::testbed {
+
+class WanFixture {
+ public:
+  WanFixture();
+  WanFixture(const WanFixture&) = delete;
+  WanFixture& operator=(const WanFixture&) = delete;
+
+  struct Measurement {
+    std::string location;
+    std::string service;
+    double dns_resolution_ms = 0.0;
+    double rtt_ms = 0.0;
+    std::size_t hops = 0;
+    bool served_from_origin = false;
+  };
+
+  // Runs `query_count` DNS resolutions per (location, service), spaced
+  // `spacing` apart (wider than the CDN mapping TTL, as when measuring a
+  // live system over minutes), then pings the resolved address.
+  [[nodiscard]] std::vector<Measurement> measure(std::size_t query_count = 100,
+                                                 sim::Duration spacing = sim::seconds(30.0));
+
+  [[nodiscard]] const std::vector<std::string>& locations() const noexcept {
+    return location_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& services() const noexcept {
+    return service_names_;
+  }
+
+ private:
+  struct Location {
+    std::string name;
+    net::NodeId client{};
+    net::NodeId ldns_node{};
+    net::IpAddress client_ip{};
+    net::IpAddress ldns_ip{};
+    std::unique_ptr<sim::ServiceQueue> ldns_cpu;
+    std::unique_ptr<dns::LocalDnsServer> ldns;
+    std::unique_ptr<dns::StubResolver> resolver;
+  };
+
+  struct Service {
+    std::string name;
+    dns::DnsName domain;
+    dns::DnsName cdn_name;
+    net::NodeId adns_node{};
+    net::NodeId cdn_dns_node{};
+    net::NodeId origin_node{};
+    net::IpAddress origin_ip{};
+    std::unique_ptr<sim::ServiceQueue> adns_cpu, cdn_cpu;
+    std::unique_ptr<dns::AuthoritativeDnsServer> adns;
+    std::unique_ptr<dns::CdnDnsServer> cdn_dns;
+  };
+
+  void build();
+  void add_cache_server(Service& service, const std::string& region, Location& location,
+                        std::size_t hops, double rtt_ms);
+
+  // Datagram echo ("ping") against a node that runs the echo responder.
+  void ping(Location& location, net::IpAddress target, std::size_t count,
+            stats::Histogram& rtt_ms);
+
+  sim::Simulator sim_;
+  net::Topology topology_;
+  std::unique_ptr<net::Network> network_;
+
+  std::vector<std::string> location_names_{"Michigan, US", "Tokyo, Japan", "Sao Paulo, Brazil"};
+  std::vector<std::string> service_names_{"Apple", "Microsoft", "Yahoo"};
+  std::vector<Location> locations_;
+  std::vector<Service> services_;
+  std::uint32_t next_ip_ = 1;
+
+  net::IpAddress fresh_ip();
+};
+
+}  // namespace ape::testbed

@@ -1,0 +1,50 @@
+#include "workload/app_generator.hpp"
+
+#include "workload/critical_path.hpp"
+
+namespace ape::workload {
+
+std::vector<AppSpec> generate_apps(const GeneratorParams& params, sim::Rng& rng) {
+  std::vector<AppSpec> apps;
+  apps.reserve(params.app_count);
+
+  for (std::size_t i = 0; i < params.app_count; ++i) {
+    AppSpec app;
+    app.id = params.first_app_id + static_cast<core::AppId>(i);
+    app.name = "dummy-app-" + std::to_string(app.id);
+    app.domain = "app" + std::to_string(app.id) + "." + params.domain_suffix;
+
+    auto random_request = [&](const std::string& name) {
+      RequestSpec r;
+      r.name = name;
+      r.url = "http://" + app.domain + "/" + name;
+      r.size_bytes = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(params.min_object_bytes),
+          static_cast<std::int64_t>(params.max_object_bytes)));
+      r.ttl_minutes = static_cast<std::uint32_t>(rng.uniform_int(params.min_ttl_minutes,
+                                                                 params.max_ttl_minutes));
+      r.retrieval_latency = sim::milliseconds(
+          rng.uniform_real(params.min_retrieval_ms, params.max_retrieval_ms));
+      return r;
+    };
+
+    // Stage 1: the ID/translation request everything depends on.
+    app.requests.push_back(random_request("id"));
+
+    // Stage 2: parallel detail fetches.
+    const std::size_t fanout = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(params.min_fanout),
+        static_cast<std::int64_t>(params.max_fanout)));
+    for (std::size_t j = 0; j < fanout; ++j) {
+      RequestSpec r = random_request("detail" + std::to_string(j));
+      r.depends_on.push_back(0);
+      app.requests.push_back(std::move(r));
+    }
+
+    assign_priorities_by_critical_path(app);
+    apps.push_back(std::move(app));
+  }
+  return apps;
+}
+
+}  // namespace ape::workload

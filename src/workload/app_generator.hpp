@@ -1,0 +1,30 @@
+// Dummy-app generator (paper Sec. V-A): synthesizes apps with a two-stage
+// request DAG (an ID lookup followed by a fan-out of detail fetches),
+// cacheable objects with randomly assigned size / TTL / retrieval latency,
+// and priorities derived from the critical path.
+#pragma once
+
+#include "sim/rng.hpp"
+#include "workload/app_model.hpp"
+
+namespace ape::workload {
+
+struct GeneratorParams {
+  std::size_t app_count = 28;
+  // Paper defaults: sizes 1-100 kB, TTL 10-60 min, retrieval 20-50 ms.
+  std::size_t min_object_bytes = 1 * 1000;
+  std::size_t max_object_bytes = 100 * 1000;
+  std::uint32_t min_ttl_minutes = 10;
+  std::uint32_t max_ttl_minutes = 60;
+  double min_retrieval_ms = 20.0;
+  double max_retrieval_ms = 50.0;
+  std::size_t min_fanout = 3;   // detail fetches in stage 2
+  std::size_t max_fanout = 8;
+  core::AppId first_app_id = 100;
+  std::string domain_suffix = "example.com";
+};
+
+[[nodiscard]] std::vector<AppSpec> generate_apps(const GeneratorParams& params,
+                                                 sim::Rng& rng);
+
+}  // namespace ape::workload

@@ -1,0 +1,79 @@
+#include "workload/app_model.hpp"
+
+#include <functional>
+
+namespace ape::workload {
+
+std::vector<core::CacheableSpec> AppSpec::cacheables() const {
+  std::vector<core::CacheableSpec> out;
+  out.reserve(requests.size());
+  for (const auto& r : requests) {
+    core::CacheableSpec spec;
+    const auto url = http::Url::parse(r.url);
+    spec.id = url ? url.value().base() : r.url;
+    spec.priority = r.priority;
+    spec.ttl_minutes = r.ttl_minutes;
+    spec.app = id;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<http::ObjectSpec> AppSpec::objects() const {
+  std::vector<http::ObjectSpec> out;
+  out.reserve(requests.size());
+  for (const auto& r : requests) {
+    http::ObjectSpec spec;
+    const auto url = http::Url::parse(r.url);
+    spec.base_url = url ? url.value().base() : r.url;
+    spec.size_bytes = r.size_bytes;
+    spec.ttl_seconds = r.ttl_minutes * 60;
+    spec.priority = r.priority;
+    spec.app_id = id;
+    spec.extra_latency = r.retrieval_latency;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::size_t AppSpec::total_object_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : requests) total += r.size_bytes;
+  return total;
+}
+
+bool AppSpec::valid() const {
+  const std::size_t n = requests.size();
+  // Indices in range?
+  for (const auto& r : requests) {
+    for (std::size_t dep : r.depends_on) {
+      if (dep >= n) return false;
+    }
+  }
+  // Acyclic? (three-color DFS)
+  enum class Mark { White, Grey, Black };
+  std::vector<Mark> marks(n, Mark::White);
+  std::function<bool(std::size_t)> visit = [&](std::size_t i) -> bool {
+    if (marks[i] == Mark::Black) return true;
+    if (marks[i] == Mark::Grey) return false;  // back edge
+    marks[i] = Mark::Grey;
+    for (std::size_t dep : requests[i].depends_on) {
+      if (!visit(dep)) return false;
+    }
+    marks[i] = Mark::Black;
+    return true;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!visit(i)) return false;
+  }
+  return true;
+}
+
+sim::Duration expected_fetch_time(const RequestSpec& request) {
+  // Backend delay + a WAN transfer estimate (~10 MB/s effective for the
+  // critical-path weighting; only relative magnitudes matter).
+  const double transfer_ms = static_cast<double>(request.size_bytes) / 10'000.0;
+  return request.retrieval_latency + sim::milliseconds(transfer_ms);
+}
+
+}  // namespace ape::workload

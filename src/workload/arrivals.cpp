@@ -1,0 +1,45 @@
+#include "workload/arrivals.hpp"
+
+#include <cassert>
+
+namespace ape::workload {
+
+ArrivalSchedule::ArrivalSchedule(std::size_t app_count, double mean_runs_per_minute,
+                                 double zipf_exponent, sim::Rng& rng)
+    : rng_(rng) {
+  assert(app_count > 0 && mean_runs_per_minute > 0.0);
+  const sim::ZipfDistribution zipf(app_count, zipf_exponent);
+
+  // P(rank) sums to 1; scaling by app_count * mean gives per-app rates with
+  // the requested average.
+  rates_per_minute_.resize(app_count);
+  for (std::size_t i = 0; i < app_count; ++i) {
+    rates_per_minute_[i] =
+        zipf.probability(i) * static_cast<double>(app_count) * mean_runs_per_minute;
+  }
+  for (std::size_t i = 0; i < app_count; ++i) {
+    schedule_next(i, sim::Time{});
+  }
+}
+
+double ArrivalSchedule::rate_per_minute(std::size_t app_index) const {
+  assert(app_index < rates_per_minute_.size());
+  return rates_per_minute_[app_index];
+}
+
+void ArrivalSchedule::schedule_next(std::size_t app_index, sim::Time from) {
+  const double mean_gap_minutes = 1.0 / rates_per_minute_[app_index];
+  const double gap_minutes = rng_.exponential(mean_gap_minutes);
+  queue_.push(Pending{from + sim::minutes(gap_minutes), app_index});
+}
+
+std::optional<ArrivalSchedule::Arrival> ArrivalSchedule::next(sim::Time horizon) {
+  if (queue_.empty()) return std::nullopt;
+  const Pending top = queue_.top();
+  if (horizon < top.at) return std::nullopt;
+  queue_.pop();
+  schedule_next(top.app_index, top.at);
+  return Arrival{top.at, top.app_index};
+}
+
+}  // namespace ape::workload

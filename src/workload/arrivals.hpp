@@ -1,0 +1,48 @@
+// App-usage arrival process (paper Sec. V-A): per-app Poisson arrivals
+// whose rates follow a Zipf popularity distribution across apps, scaled so
+// the *average* per-app frequency equals the configured value (3 runs per
+// minute by default).
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ape::workload {
+
+class ArrivalSchedule {
+ public:
+  // `mean_runs_per_minute` is averaged over all apps; Zipf skews individual
+  // apps around it (rank-0 apps run much more often than tail apps).
+  ArrivalSchedule(std::size_t app_count, double mean_runs_per_minute, double zipf_exponent,
+                  sim::Rng& rng);
+
+  struct Arrival {
+    sim::Time at;
+    std::size_t app_index;
+  };
+
+  // Next arrival at or before `horizon`; nullopt when the next event lies
+  // beyond it.  Consumes the event and schedules that app's next run.
+  [[nodiscard]] std::optional<Arrival> next(sim::Time horizon);
+
+  [[nodiscard]] double rate_per_minute(std::size_t app_index) const;
+
+ private:
+  void schedule_next(std::size_t app_index, sim::Time from);
+
+  struct Pending {
+    sim::Time at;
+    std::size_t app_index;
+    bool operator<(const Pending& other) const noexcept { return other.at < at; }
+  };
+
+  std::vector<double> rates_per_minute_;
+  std::priority_queue<Pending> queue_;
+  sim::Rng& rng_;
+};
+
+}  // namespace ape::workload

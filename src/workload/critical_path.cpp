@@ -1,0 +1,57 @@
+#include "workload/critical_path.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ape::workload {
+
+CriticalPath critical_path(const AppSpec& app) {
+  assert(app.valid());
+  const std::size_t n = app.requests.size();
+  CriticalPath result;
+  if (n == 0) return result;
+
+  // Longest path ending at each node, via memoized DFS (DAG guaranteed by
+  // AppSpec::valid).
+  std::vector<sim::Duration> best(n, sim::Duration{-1});
+  std::vector<std::size_t> pred(n, n);  // n = "none"
+
+  std::function<sim::Duration(std::size_t)> longest = [&](std::size_t i) -> sim::Duration {
+    if (best[i].count() >= 0) return best[i];
+    sim::Duration incoming{0};
+    for (std::size_t dep : app.requests[i].depends_on) {
+      const sim::Duration d = longest(dep);
+      if (d > incoming) {
+        incoming = d;
+        pred[i] = dep;
+      }
+    }
+    best[i] = incoming + expected_fetch_time(app.requests[i]);
+    return best[i];
+  };
+
+  std::size_t tail = 0;
+  sim::Duration tail_cost{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::Duration d = longest(i);
+    if (d > tail_cost) {
+      tail_cost = d;
+      tail = i;
+    }
+  }
+
+  // Walk predecessors back to a source.
+  std::vector<std::size_t> reversed;
+  for (std::size_t i = tail; i != n; i = pred[i]) reversed.push_back(i);
+  result.request_indices.assign(reversed.rbegin(), reversed.rend());
+  result.expected_duration = tail_cost;
+  return result;
+}
+
+void assign_priorities_by_critical_path(AppSpec& app) {
+  for (auto& r : app.requests) r.priority = 1;
+  const CriticalPath path = critical_path(app);
+  for (std::size_t idx : path.request_indices) app.requests[idx].priority = 2;
+}
+
+}  // namespace ape::workload

@@ -1,0 +1,23 @@
+// Critical-path analysis over an app's request DAG (paper Sec. III-A):
+// the longest (in expected duration) dependency chain from start to finish.
+// Objects on that path get priority 2 ("high"), everything else priority 1,
+// matching the synthetic-app priority assignment of Sec. V-A.
+#pragma once
+
+#include <vector>
+
+#include "workload/app_model.hpp"
+
+namespace ape::workload {
+
+struct CriticalPath {
+  std::vector<std::size_t> request_indices;  // in execution order
+  sim::Duration expected_duration{0};
+};
+
+[[nodiscard]] CriticalPath critical_path(const AppSpec& app);
+
+// Rewrites request priorities in place: 2 on the critical path, 1 off it.
+void assign_priorities_by_critical_path(AppSpec& app);
+
+}  // namespace ape::workload

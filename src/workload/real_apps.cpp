@@ -1,0 +1,52 @@
+#include "workload/real_apps.hpp"
+
+namespace ape::workload {
+
+namespace {
+RequestSpec request(std::string name, const std::string& domain, std::size_t size_bytes,
+                    std::uint32_t ttl_minutes, double retrieval_ms, int priority,
+                    std::vector<std::size_t> deps = {}) {
+  RequestSpec r;
+  r.url = "http://" + domain + "/" + name;
+  r.name = std::move(name);
+  r.size_bytes = size_bytes;
+  r.ttl_minutes = ttl_minutes;
+  r.retrieval_latency = sim::milliseconds(retrieval_ms);
+  r.priority = priority;
+  r.depends_on = std::move(deps);
+  return r;
+}
+}  // namespace
+
+AppSpec make_movie_trailer() {
+  AppSpec app;
+  app.name = "MovieTrailer";
+  app.id = kMovieTrailerId;
+  app.domain = "api.movietrailer.app";
+  app.compose_time = sim::milliseconds(3);
+
+  // Sizes reflect the app's payloads: small JSON for id/rating/plot/cast,
+  // a large JPEG thumbnail.  Priorities follow Table III: movieID and
+  // thumbnail high (2), the rest low (1).
+  app.requests.push_back(request("getMovieID", app.domain, 2'000, 30, 25.0, 2));
+  app.requests.push_back(request("getRating", app.domain, 4'000, 20, 22.0, 1, {0}));
+  app.requests.push_back(request("getPlot", app.domain, 8'000, 30, 24.0, 1, {0}));
+  app.requests.push_back(request("getCast", app.domain, 12'000, 30, 26.0, 1, {0}));
+  app.requests.push_back(request("getThumbnail", app.domain, 90'000, 60, 45.0, 2, {0}));
+  return app;
+}
+
+AppSpec make_virtual_home() {
+  AppSpec app;
+  app.name = "VirtualHome";
+  app.id = kVirtualHomeId;
+  app.domain = "api.virtualhome.app";
+  app.compose_time = sim::milliseconds(5);  // AR scene assembly
+
+  // Table III: ARObjectsID low priority, ARObjects (the meshes) high.
+  app.requests.push_back(request("getARObjectsID", app.domain, 3'000, 30, 24.0, 1));
+  app.requests.push_back(request("getARObjects", app.domain, 150'000, 60, 48.0, 2, {0}));
+  return app;
+}
+
+}  // namespace ape::workload

@@ -1,0 +1,23 @@
+// Models of the two real-world apps the paper evaluates (Sec. V-A,
+// Fig. 10, Table III).
+//
+//  * MovieTrailer (github.com/marwa-eltayeb/MovieTrailer): movie name ->
+//    getMovieID, then four parallel detail fetches (rating, plot, cast,
+//    thumbnail).  Critical path: getMovieID -> getThumbnail.  High
+//    priority: movieID, thumbnail.
+//  * VirtualHome (github.com/rkswetha/VirtualHome): product category ->
+//    getARObjectsID, then fetch the AR objects themselves.  High priority:
+//    ARObjects.
+#pragma once
+
+#include "workload/app_model.hpp"
+
+namespace ape::workload {
+
+inline constexpr core::AppId kMovieTrailerId = 1;
+inline constexpr core::AppId kVirtualHomeId = 2;
+
+[[nodiscard]] AppSpec make_movie_trailer();
+[[nodiscard]] AppSpec make_virtual_home();
+
+}  // namespace ape::workload

@@ -1,0 +1,76 @@
+#include "workload/traffic_trace.hpp"
+
+#include <algorithm>
+
+namespace ape::workload {
+
+TraceSpec low_rate_trace() {
+  TraceSpec spec;
+  spec.name = "low-rate";
+  spec.total_bytes = static_cast<std::size_t>(9.4 * 1024 * 1024);
+  spec.packets = 14'261;
+  spec.flows = 1'209;
+  spec.duration = sim::minutes(5);
+  spec.app_count = 28;
+  return spec;
+}
+
+TraceSpec high_rate_trace() {
+  TraceSpec spec;
+  spec.name = "high-rate";
+  spec.total_bytes = static_cast<std::size_t>(368.0 * 1024 * 1024);
+  spec.packets = 791'615;
+  spec.flows = 40'686;
+  spec.duration = sim::minutes(5);
+  spec.app_count = 132;
+  return spec;
+}
+
+std::vector<TracePacket> generate_trace(const TraceSpec& spec, sim::Rng& rng) {
+  std::vector<TracePacket> packets;
+  packets.reserve(spec.packets);
+
+  const double mean_gap_s =
+      sim::to_seconds(spec.duration) / static_cast<double>(spec.packets);
+  const double avg_size = spec.average_packet_bytes();
+
+  // Mark flow starts uniformly across the packet sequence.
+  const double flow_start_prob =
+      static_cast<double>(spec.flows) / static_cast<double>(spec.packets);
+
+  // Bimodal sizes (control packets vs near-MTU data) calibrated so the
+  // empirical mean matches the capture's average packet size.
+  constexpr double kSmallShare = 0.55;
+  constexpr double kSmallMean = 130.0;  // uniform(60, 200)
+  const double big_mean = std::clamp(
+      (avg_size - kSmallShare * kSmallMean) / (1.0 - kSmallShare), 140.0, 1480.0);
+  const double big_lo = std::clamp(2.0 * big_mean - 1500.0, 60.0, big_mean);
+  const double big_hi = std::min(2.0 * big_mean - big_lo, 1500.0);
+
+  double t = 0.0;
+  std::size_t flows_started = 0;
+  for (std::size_t i = 0; i < spec.packets; ++i) {
+    t += rng.exponential(mean_gap_s);
+    TracePacket p;
+    p.at = sim::Time{sim::seconds(std::min(t, sim::to_seconds(spec.duration)))};
+    const double r = rng.uniform_real(0.0, 1.0);
+    const double size = r < kSmallShare ? rng.uniform_real(60.0, 200.0)
+                                        : rng.uniform_real(big_lo, big_hi);
+    p.bytes = static_cast<std::size_t>(std::clamp(size, 60.0, 1500.0));
+    p.starts_flow = flows_started < spec.flows && rng.bernoulli(flow_start_prob);
+    if (p.starts_flow) ++flows_started;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+void replay_trace(const std::vector<TracePacket>& packets, core::ApRuntime& ap,
+                  sim::Simulator& sim) {
+  for (const TracePacket& p : packets) {
+    sim.schedule_at(p.at, [&ap, bytes = p.bytes, starts = p.starts_flow] {
+      ap.forward_packet(bytes, starts);
+    });
+  }
+}
+
+}  // namespace ape::workload

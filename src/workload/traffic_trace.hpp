@@ -1,0 +1,48 @@
+// Synthetic WiFi traffic traces matching the published statistics of the
+// paper's Table II (the Tcpreplay sample captures), plus a replayer that
+// drives an AP's packet-forwarding path the way the paper's Tcpreplay runs
+// drove the GL-MT1300 (Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ap_runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace ape::workload {
+
+struct TraceSpec {
+  std::string name;
+  std::size_t total_bytes = 0;
+  std::size_t packets = 0;
+  std::size_t flows = 0;
+  sim::Duration duration{sim::minutes(5)};
+  std::size_t app_count = 0;
+
+  [[nodiscard]] double average_packet_bytes() const noexcept {
+    return packets == 0 ? 0.0 : static_cast<double>(total_bytes) / static_cast<double>(packets);
+  }
+};
+
+// The two captures of Table II.
+[[nodiscard]] TraceSpec low_rate_trace();   // 9.4 MB, 14261 pkts, 1209 flows, 28 apps
+[[nodiscard]] TraceSpec high_rate_trace();  // 368 MB, 791615 pkts, 40686 flows, 132 apps
+
+struct TracePacket {
+  sim::Time at;
+  std::size_t bytes;
+  bool starts_flow;
+};
+
+// Generates a packet timeline matching the spec: Poisson packet arrivals
+// across the duration, sizes jittered around the trace's average, the
+// first packet of each of `flows` flows marked.
+[[nodiscard]] std::vector<TracePacket> generate_trace(const TraceSpec& spec, sim::Rng& rng);
+
+// Schedules every packet into the simulator against the AP's forwarding
+// path.  Run the simulator afterwards.
+void replay_trace(const std::vector<TracePacket>& packets, core::ApRuntime& ap,
+                  sim::Simulator& sim);
+
+}  // namespace ape::workload

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "dns/codec.hpp"
+#include "dns/message.hpp"
+#include "dns/name.hpp"
+
+namespace ape::dns {
+namespace {
+
+// -------------------------------------------------------------- DnsName
+
+TEST(DnsName, ParsesAndRoundTrips) {
+  const auto name = DnsName::parse("www.Apple.COM");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name.value().to_string(), "www.apple.com");  // lowercased
+  EXPECT_EQ(name.value().label_count(), 3u);
+}
+
+TEST(DnsName, TrailingDotAccepted) {
+  EXPECT_EQ(DnsName::parse("example.com.").value().to_string(), "example.com");
+}
+
+TEST(DnsName, RootName) {
+  const auto root = DnsName::parse("");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value().empty());
+  EXPECT_EQ(root.value().to_string(), ".");
+  EXPECT_EQ(root.value().wire_length(), 1u);
+}
+
+TEST(DnsName, RejectsEmptyLabel) {
+  EXPECT_FALSE(DnsName::parse("a..b").ok());
+  EXPECT_FALSE(DnsName::parse(".a").ok());
+}
+
+TEST(DnsName, RejectsOverlongLabel) {
+  EXPECT_FALSE(DnsName::parse(std::string(64, 'x') + ".com").ok());
+  EXPECT_TRUE(DnsName::parse(std::string(63, 'x') + ".com").ok());
+}
+
+TEST(DnsName, RejectsOverlongName) {
+  std::string long_name;
+  for (int i = 0; i < 50; ++i) long_name += "abcde.";
+  long_name += "com";  // > 253 chars
+  EXPECT_FALSE(DnsName::parse(long_name).ok());
+}
+
+TEST(DnsName, RejectsBadCharacters) {
+  EXPECT_FALSE(DnsName::parse("sp ace.com").ok());
+  EXPECT_FALSE(DnsName::parse("semi;colon.com").ok());
+}
+
+TEST(DnsName, SubdomainMatching) {
+  const auto www = DnsName::parse("www.apple.com").value();
+  const auto apex = DnsName::parse("apple.com").value();
+  const auto other = DnsName::parse("apple.org").value();
+  EXPECT_TRUE(www.is_subdomain_of(apex));
+  EXPECT_TRUE(www.is_subdomain_of(www));
+  EXPECT_FALSE(apex.is_subdomain_of(www));
+  EXPECT_FALSE(www.is_subdomain_of(other));
+  EXPECT_TRUE(www.is_subdomain_of(DnsName{}));  // everything under root
+}
+
+TEST(DnsName, WireLength) {
+  // 3www5apple3com0 = 1+3 + 1+5 + 1+3 + 1 = 15.
+  EXPECT_EQ(DnsName::parse("www.apple.com").value().wire_length(), 15u);
+}
+
+TEST(DnsName, EqualityIsCaseInsensitiveViaNormalization) {
+  EXPECT_EQ(DnsName::parse("A.B.C").value(), DnsName::parse("a.b.c").value());
+}
+
+TEST(DnsName, HashConsistentWithEquality) {
+  DnsNameHash hasher;
+  EXPECT_EQ(hasher(DnsName::parse("X.Y").value()), hasher(DnsName::parse("x.y").value()));
+}
+
+// ------------------------------------------------------- message codec
+
+DnsMessage sample_query() {
+  DnsMessage m;
+  m.header.id = 0xBEEF;
+  m.header.rd = true;
+  m.questions.push_back(
+      Question{DnsName::parse("www.apple.com").value(), RrType::A, RrClass::In});
+  return m;
+}
+
+TEST(Codec, QueryRoundTrip) {
+  const DnsMessage original = sample_query();
+  const auto wire = encode(original);
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().header.id, 0xBEEF);
+  EXPECT_TRUE(decoded.value().header.rd);
+  EXPECT_FALSE(decoded.value().header.qr);
+  ASSERT_EQ(decoded.value().questions.size(), 1u);
+  EXPECT_EQ(decoded.value().questions[0], original.questions[0]);
+}
+
+TEST(Codec, ResponseRoundTripAllSections) {
+  DnsMessage m = sample_query();
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.rcode = Rcode::NoError;
+  const auto name = DnsName::parse("www.apple.com").value();
+  const auto cname = DnsName::parse("www.apple.com.edgekey.net").value();
+  m.answers.push_back(make_cname_record(name, cname, 3600));
+  m.answers.push_back(make_a_record(cname, net::IpAddress::from_octets(2, 3, 4, 5), 20));
+  m.authorities.push_back(make_a_record(DnsName::parse("ns1.apple.com").value(),
+                                        net::IpAddress::from_octets(6, 7, 8, 9), 300));
+  m.additionals.push_back(make_opt_record(4096));
+
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().answers, m.answers);
+  EXPECT_EQ(decoded.value().authorities, m.authorities);
+  EXPECT_EQ(decoded.value().additionals, m.additionals);
+  EXPECT_TRUE(decoded.value().header.aa);
+}
+
+TEST(Codec, HeaderFlagsRoundTrip) {
+  DnsMessage m = sample_query();
+  m.header.qr = true;
+  m.header.tc = true;
+  m.header.ra = true;
+  m.header.rcode = Rcode::NxDomain;
+  m.header.opcode = Opcode::Status;
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().header.qr);
+  EXPECT_TRUE(decoded.value().header.tc);
+  EXPECT_TRUE(decoded.value().header.ra);
+  EXPECT_EQ(decoded.value().header.rcode, Rcode::NxDomain);
+  EXPECT_EQ(decoded.value().header.opcode, Opcode::Status);
+}
+
+TEST(Codec, NameCompressionShrinksRepeatedNames) {
+  DnsMessage m = sample_query();
+  m.header.qr = true;
+  const auto name = m.questions[0].name;
+  for (int i = 0; i < 4; ++i) {
+    m.answers.push_back(make_a_record(name, net::IpAddress::from_octets(1, 1, 1, 1), 60));
+  }
+  const auto wire = encode(m);
+  // Each repeated name costs 2 pointer bytes instead of 15.
+  // Uncompressed would be >= 12 + (15+4) + 4*(15+10+4); assert well below.
+  EXPECT_LT(wire.size(), 120u);
+
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  for (const auto& rr : decoded.value().answers) {
+    EXPECT_EQ(rr.name, name);
+  }
+}
+
+TEST(Codec, CompressionSharesSuffixes) {
+  DnsMessage m;
+  m.header.id = 1;
+  m.questions.push_back(
+      Question{DnsName::parse("a.example.com").value(), RrType::A, RrClass::In});
+  m.questions.push_back(
+      Question{DnsName::parse("b.example.com").value(), RrType::A, RrClass::In});
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().questions[0].name.to_string(), "a.example.com");
+  EXPECT_EQ(decoded.value().questions[1].name.to_string(), "b.example.com");
+}
+
+TEST(Codec, DecodeRejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> tiny{0x12, 0x34, 0x01};
+  EXPECT_FALSE(decode(tiny).ok());
+}
+
+TEST(Codec, DecodeRejectsTruncatedQuestion) {
+  auto wire = encode(sample_query());
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(Codec, DecodeRejectsCountsBeyondData) {
+  auto wire = encode(sample_query());
+  wire[5] = 9;  // QDCOUNT = 9, but only one question present
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(Codec, DecodeRejectsCompressionLoop) {
+  // Hand-built packet: header + question whose name points at itself.
+  ByteWriter w;
+  w.u16(1);     // id
+  w.u16(0);     // flags
+  w.u16(1);     // qd
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xC00C);  // pointer to offset 12 = itself
+  w.u16(1);       // qtype
+  w.u16(1);       // qclass
+  EXPECT_FALSE(decode(std::move(w).take()).ok());
+}
+
+TEST(Codec, DecodeRejectsPointerOutOfRange) {
+  ByteWriter w;
+  w.u16(1);
+  w.u16(0);
+  w.u16(1);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xC0FF);  // pointer to offset 255, beyond packet end
+  w.u16(1);
+  w.u16(1);
+  EXPECT_FALSE(decode(std::move(w).take()).ok());
+}
+
+TEST(Codec, DecodeRejectsReservedLabelType) {
+  ByteWriter w;
+  w.u16(1);
+  w.u16(0);
+  w.u16(1);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u8(0x80);  // 10xxxxxx: reserved label type
+  w.u8(0);
+  w.u16(1);
+  w.u16(1);
+  EXPECT_FALSE(decode(std::move(w).take()).ok());
+}
+
+TEST(Codec, DecodeEmptyPacketFails) {
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{}).ok());
+}
+
+// Property sweep: garbage of many sizes never crashes the decoder.
+class CodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzzTest, GarbageNeverCrashes) {
+  std::uint64_t x = GetParam();
+  std::vector<std::uint8_t> junk;
+  const std::size_t size = (x % 120) + 1;
+  for (std::size_t i = 0; i < size; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    junk.push_back(static_cast<std::uint8_t>(x >> 56));
+  }
+  const auto result = decode(junk);  // must not crash; ok either way
+  (void)result;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// Mutation property: flipping any single byte of a valid packet never
+// crashes the decoder.
+TEST(Codec, SingleByteMutationsNeverCrash) {
+  DnsMessage m = sample_query();
+  m.header.qr = true;
+  m.answers.push_back(make_a_record(m.questions[0].name,
+                                    net::IpAddress::from_octets(1, 2, 3, 4), 60));
+  const auto wire = encode(m);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (std::uint8_t flip : {0x01, 0x80, 0xFF}) {
+      auto mutated = wire;
+      mutated[i] ^= flip;
+      const auto result = decode(mutated);
+      (void)result;
+    }
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------- RDATA types
+
+TEST(Rdata, ARecordRoundTrip) {
+  const auto ip = net::IpAddress::from_octets(203, 0, 113, 7);
+  const auto rdata = encode_a_rdata(ip);
+  EXPECT_EQ(rdata.size(), 4u);
+  EXPECT_EQ(decode_a_rdata(rdata).value(), ip);
+}
+
+TEST(Rdata, ARecordRejectsWrongSize) {
+  EXPECT_FALSE(decode_a_rdata({1, 2, 3}).ok());
+  EXPECT_FALSE(decode_a_rdata({1, 2, 3, 4, 5}).ok());
+}
+
+TEST(Rdata, CnameRoundTrip) {
+  const auto target = DnsName::parse("cache.cdn.example").value();
+  EXPECT_EQ(decode_cname_rdata(encode_cname_rdata(target)).value(), target);
+}
+
+TEST(Rdata, CnameRejectsTruncation) {
+  auto rdata = encode_cname_rdata(DnsName::parse("a.b").value());
+  rdata.pop_back();
+  rdata.pop_back();
+  EXPECT_FALSE(decode_cname_rdata(rdata).ok());
+}
+
+TEST(Rdata, OptRecordCarriesPayloadSizeInClass) {
+  const auto opt = make_opt_record(4096);
+  EXPECT_EQ(opt.type, RrType::Opt);
+  EXPECT_EQ(opt.rr_class, 4096);
+  EXPECT_TRUE(opt.name.empty());
+}
+
+TEST(Rdata, MakeResponseForCopiesIdentity) {
+  const DnsMessage q = sample_query();
+  const DnsMessage r = make_response_for(q, Rcode::NxDomain);
+  EXPECT_EQ(r.header.id, q.header.id);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(r.header.rcode, Rcode::NxDomain);
+  EXPECT_EQ(r.questions, q.questions);
+}
+
+TEST(Message, FindAnswerAndAdditional) {
+  DnsMessage m = sample_query();
+  const auto name = m.questions[0].name;
+  m.answers.push_back(make_a_record(name, net::IpAddress::from_octets(1, 1, 1, 1), 5));
+  m.additionals.push_back(make_opt_record(512));
+  EXPECT_NE(m.find_answer(RrType::A), nullptr);
+  EXPECT_EQ(m.find_answer(RrType::Cname), nullptr);
+  EXPECT_NE(m.find_additional(RrType::Opt), nullptr);
+  EXPECT_EQ(m.find_additional(RrType::A), nullptr);
+}
+
+}  // namespace
+}  // namespace ape::dns

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include "dns/adns.hpp"
+#include "dns/cdn_dns.hpp"
+#include "dns/ldns.hpp"
+#include "dns/stub_resolver.hpp"
+
+namespace ape::dns {
+namespace {
+
+// Fixture: client -- ldns -- {adns, cdn-dns}, all 5 ms links.
+struct DnsFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo;
+  std::unique_ptr<net::Network> net;
+  net::NodeId client{}, ldns_node{}, adns_node{}, cdn_node{};
+  net::IpAddress client_ip = net::IpAddress::from_octets(10, 0, 0, 1);
+  net::IpAddress ldns_ip = net::IpAddress::from_octets(10, 0, 0, 2);
+  net::IpAddress adns_ip = net::IpAddress::from_octets(10, 0, 0, 3);
+  net::IpAddress cdn_ip = net::IpAddress::from_octets(10, 0, 0, 4);
+  net::IpAddress edge_ip = net::IpAddress::from_octets(10, 9, 9, 9);
+
+  std::unique_ptr<sim::ServiceQueue> ldns_cpu, adns_cpu, cdn_cpu;
+  std::unique_ptr<LocalDnsServer> ldns;
+  std::unique_ptr<AuthoritativeDnsServer> adns;
+  std::unique_ptr<CdnDnsServer> cdn;
+  std::unique_ptr<StubResolver> stub;
+
+  DnsName apex = DnsName::parse("example.com").value();
+  DnsName www = DnsName::parse("www.example.com").value();
+  DnsName cdn_suffix = DnsName::parse("cdn.net").value();
+  DnsName cdn_name = DnsName::parse("www.example.com.cdn.net").value();
+
+  void SetUp() override {
+    client = topo.add_node("client");
+    ldns_node = topo.add_node("ldns");
+    adns_node = topo.add_node("adns");
+    cdn_node = topo.add_node("cdn");
+    const net::LinkSpec link{sim::milliseconds(5), 1e9};
+    topo.add_link(client, ldns_node, link);
+    topo.add_link(ldns_node, adns_node, link);
+    topo.add_link(ldns_node, cdn_node, link);
+
+    net = std::make_unique<net::Network>(sim, topo);
+    net->assign_ip(client, client_ip);
+    net->assign_ip(ldns_node, ldns_ip);
+    net->assign_ip(adns_node, adns_ip);
+    net->assign_ip(cdn_node, cdn_ip);
+
+    ldns_cpu = std::make_unique<sim::ServiceQueue>(sim, 2);
+    adns_cpu = std::make_unique<sim::ServiceQueue>(sim, 2);
+    cdn_cpu = std::make_unique<sim::ServiceQueue>(sim, 2);
+
+    ldns = std::make_unique<LocalDnsServer>(*net, ldns_node, *ldns_cpu,
+                                            sim::microseconds(100));
+    adns = std::make_unique<AuthoritativeDnsServer>(*net, adns_node, *adns_cpu,
+                                                    sim::microseconds(100));
+    cdn = std::make_unique<CdnDnsServer>(*net, cdn_node, *cdn_cpu, sim::microseconds(100));
+
+    adns->add_zone(apex);
+    ldns->add_delegation(apex, net::Endpoint{adns_ip, net::kDnsPort});
+    ldns->add_delegation(cdn_suffix, net::Endpoint{cdn_ip, net::kDnsPort});
+
+    stub = std::make_unique<StubResolver>(*net, client,
+                                          net::Endpoint{ldns_ip, net::kDnsPort}, 50000);
+  }
+
+  Result<ResolveResult> resolve(const DnsName& name) {
+    Result<ResolveResult> out = make_error<ResolveResult>("not called");
+    stub->resolve(name, [&out](Result<ResolveResult> r) { out = std::move(r); });
+    sim.run();
+    return out;
+  }
+};
+
+// ----------------------------------------------------------------- ADNS
+
+TEST_F(DnsFixture, AdnsServesARecord) {
+  adns->add_a(www, edge_ip, 300);
+  const auto result = resolve(www);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address, edge_ip);
+  EXPECT_EQ(result.value().ttl, 300u);
+}
+
+TEST_F(DnsFixture, AdnsNxDomainForUnknownNameInZone) {
+  const auto result = resolve(DnsName::parse("missing.example.com").value());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DnsFixture, AdnsFollowsInZoneCnameChains) {
+  const auto alias = DnsName::parse("alias.example.com").value();
+  adns->add_cname(alias, www, 60);
+  adns->add_a(www, edge_ip, 60);
+  const auto result = resolve(alias);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address, edge_ip);
+}
+
+// ------------------------------------------------------------------ CDN
+
+TEST_F(DnsFixture, CdnMapsRegionToServer) {
+  adns->add_cname(www, cdn_name, 3600);
+  cdn->add_service(cdn_name, edge_ip);
+  cdn->add_cache_server(cdn_name, "mi", net::IpAddress::from_octets(10, 5, 5, 5));
+  cdn->set_region_of(ldns_ip, "mi");
+  const auto result = resolve(www);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address, net::IpAddress::from_octets(10, 5, 5, 5));
+}
+
+TEST_F(DnsFixture, CdnFallsBackToOriginForUnmappedRegion) {
+  adns->add_cname(www, cdn_name, 3600);
+  cdn->add_service(cdn_name, edge_ip);  // no server for ldns's region
+  const auto result = resolve(www);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address, edge_ip);  // origin
+}
+
+TEST_F(DnsFixture, CdnNxDomainForUnknownService) {
+  adns->add_cname(www, cdn_name, 3600);  // CNAME to an unregistered service
+  const auto result = resolve(www);
+  EXPECT_FALSE(result.ok());
+}
+
+// ----------------------------------------------------------------- LDNS
+
+TEST_F(DnsFixture, LdnsRecursesThroughCnameAcrossServers) {
+  adns->add_cname(www, cdn_name, 3600);
+  cdn->add_service(cdn_name, edge_ip);
+  cdn->set_answer_ttl(20);
+  const auto result = resolve(www);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address, edge_ip);
+  EXPECT_EQ(ldns->upstream_queries(), 2u);  // adns + cdn
+}
+
+TEST_F(DnsFixture, LdnsCachesPositiveAnswers) {
+  adns->add_a(www, edge_ip, 300);
+  ASSERT_TRUE(resolve(www).ok());
+  EXPECT_EQ(ldns->upstream_queries(), 1u);
+  ASSERT_TRUE(resolve(www).ok());
+  EXPECT_EQ(ldns->upstream_queries(), 1u);  // served from cache
+}
+
+TEST_F(DnsFixture, LdnsCachedAnswerIsFaster) {
+  adns->add_a(www, edge_ip, 300);
+  sim::Time start = sim.now();
+  ASSERT_TRUE(resolve(www).ok());
+  const auto cold = sim.now() - start;
+  start = sim.now();
+  ASSERT_TRUE(resolve(www).ok());
+  const auto warm = sim.now() - start;
+  EXPECT_LT(warm, cold);
+  // Warm: client<->ldns RTT only (10 ms) plus service time.
+  EXPECT_LT(sim::to_millis(warm), 12.0);
+}
+
+TEST_F(DnsFixture, LdnsRespectsTtlExpiry) {
+  adns->add_a(www, edge_ip, 2);  // 2-second TTL
+  ASSERT_TRUE(resolve(www).ok());
+  EXPECT_EQ(ldns->upstream_queries(), 1u);
+  sim.run_until(sim.now() + sim::seconds(3.0));
+  ASSERT_TRUE(resolve(www).ok());
+  EXPECT_EQ(ldns->upstream_queries(), 2u);  // re-fetched after expiry
+}
+
+TEST_F(DnsFixture, LdnsNeverCachesTtlZero) {
+  adns->add_cname(www, cdn_name, 3600);
+  cdn->add_service(cdn_name, edge_ip);
+  cdn->set_answer_ttl(0);  // Akamai-style mapping
+  ASSERT_TRUE(resolve(www).ok());
+  const auto first = ldns->upstream_queries();
+  ASSERT_TRUE(resolve(www).ok());
+  // CNAME cached, but the A must be re-fetched from the CDN DNS.
+  EXPECT_EQ(ldns->upstream_queries(), first + 1);
+}
+
+TEST_F(DnsFixture, LdnsServFailWithoutDelegation) {
+  const auto result = resolve(DnsName::parse("unknown.zone.test").value());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DnsFixture, LdnsFlushCacheForcesRecursion) {
+  adns->add_a(www, edge_ip, 300);
+  ASSERT_TRUE(resolve(www).ok());
+  ldns->flush_cache();
+  ASSERT_TRUE(resolve(www).ok());
+  EXPECT_EQ(ldns->upstream_queries(), 2u);
+}
+
+// ------------------------------------------------------------ DnsClient
+
+TEST_F(DnsFixture, ClientTimesOutWhenServerGone) {
+  DnsClient lone(*net, client, 51000);
+  lone.set_timeout(sim::milliseconds(50));
+  lone.set_max_attempts(2);
+  bool failed = false;
+  DnsMessage q;
+  q.questions.push_back(Question{www, RrType::A, RrClass::In});
+  // Nothing listens on port 5353 anywhere.
+  lone.query(net::Endpoint{adns_ip, 5353}, std::move(q),
+             [&](Result<DnsMessage> r) { failed = !r.ok(); });
+  sim.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(lone.timeouts(), 1u);
+  // Two attempts, 50 ms each.
+  EXPECT_EQ(sim.now().since_epoch, sim::milliseconds(100));
+}
+
+TEST_F(DnsFixture, ClientRetriesRecoverFromOneLoss) {
+  adns->add_a(www, edge_ip, 300);
+  // Partition briefly so the first attempt is lost, then heal.
+  topo.set_link_down(client, ldns_node, true);
+  sim.schedule_in(sim::milliseconds(100), [&] { topo.set_link_down(client, ldns_node, false); });
+
+  DnsClient retrying(*net, client, 52000);
+  retrying.set_timeout(sim::milliseconds(200));
+  retrying.set_max_attempts(2);
+  bool ok = false;
+  DnsMessage q;
+  q.header.rd = true;
+  q.questions.push_back(Question{www, RrType::A, RrClass::In});
+  retrying.query(net::Endpoint{ldns_ip, net::kDnsPort}, std::move(q),
+                 [&](Result<DnsMessage> r) { ok = r.ok(); });
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(DnsFixture, ConcurrentQueriesMatchById) {
+  adns->add_a(www, edge_ip, 300);
+  const auto second_name = DnsName::parse("two.example.com").value();
+  adns->add_a(second_name, net::IpAddress::from_octets(10, 2, 2, 2), 300);
+
+  net::IpAddress got_first{}, got_second{};
+  stub->resolve(www, [&](Result<ResolveResult> r) {
+    ASSERT_TRUE(r.ok());
+    got_first = r.value().address;
+  });
+  stub->resolve(second_name, [&](Result<ResolveResult> r) {
+    ASSERT_TRUE(r.ok());
+    got_second = r.value().address;
+  });
+  sim.run();
+  EXPECT_EQ(got_first, edge_ip);
+  EXPECT_EQ(got_second, net::IpAddress::from_octets(10, 2, 2, 2));
+}
+
+// ---------------------------------------------------------- StubResolver
+
+TEST_F(DnsFixture, StubExtractsAddressThroughCname) {
+  DnsMessage resp;
+  resp.header.qr = true;
+  resp.answers.push_back(make_cname_record(www, cdn_name, 60));
+  resp.answers.push_back(make_a_record(cdn_name, edge_ip, 20));
+  const auto extracted = StubResolver::extract_address(resp, www);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted.value().address, edge_ip);
+  EXPECT_EQ(extracted.value().ttl, 20u);
+}
+
+TEST_F(DnsFixture, StubRejectsAnswerlessResponse) {
+  DnsMessage resp;
+  resp.header.qr = true;
+  EXPECT_FALSE(StubResolver::extract_address(resp, www).ok());
+}
+
+TEST_F(DnsFixture, StubRejectsErrorRcode) {
+  DnsMessage resp;
+  resp.header.qr = true;
+  resp.header.rcode = Rcode::NxDomain;
+  resp.answers.push_back(make_a_record(www, edge_ip, 20));
+  EXPECT_FALSE(StubResolver::extract_address(resp, www).ok());
+}
+
+TEST_F(DnsFixture, StubRejectsCnameLoop) {
+  const auto a = DnsName::parse("a.example.com").value();
+  const auto b = DnsName::parse("b.example.com").value();
+  DnsMessage resp;
+  resp.header.qr = true;
+  resp.answers.push_back(make_cname_record(a, b, 60));
+  resp.answers.push_back(make_cname_record(b, a, 60));
+  EXPECT_FALSE(StubResolver::extract_address(resp, a).ok());
+}
+
+TEST_F(DnsFixture, ServerIgnoresMalformedDatagrams) {
+  net->send_datagram(client, 50001, net::Endpoint{ldns_ip, net::kDnsPort},
+                     net::Payload{0xFF, 0x00, 0xAB});
+  sim.run();
+  EXPECT_EQ(ldns->malformed_received(), 1u);
+  EXPECT_EQ(ldns->queries_received(), 0u);
+}
+
+TEST_F(DnsFixture, ServerIgnoresResponsesSentToIt) {
+  DnsMessage bogus;
+  bogus.header.qr = true;  // a response, not a query
+  net->send_datagram(client, 50002, net::Endpoint{ldns_ip, net::kDnsPort}, encode(bogus));
+  sim.run();
+  EXPECT_EQ(ldns->queries_received(), 0u);
+}
+
+
+// -------------------------------------------------- EDNS and truncation
+
+TEST_F(DnsFixture, ClientsAdvertiseEdnsPayload) {
+  adns->add_a(www, edge_ip, 300);
+  // Capture what the ADNS receives by observing the response: answers of
+  // arbitrary size up to kDefaultEdnsPayload come back untruncated.
+  for (int i = 0; i < 30; ++i) {
+    adns->add_a(DnsName::parse("host" + std::to_string(i) + ".example.com").value(),
+                edge_ip, 300);
+  }
+  // A CNAME farm under one name to fatten the answer past 512 bytes.
+  const auto fat = DnsName::parse("fat.example.com").value();
+  DnsName prev = fat;
+  for (int i = 0; i < 12; ++i) {
+    const auto next =
+        DnsName::parse("chain-node-number-" + std::to_string(i) + ".example.com").value();
+    adns->add_cname(prev, next, 300);
+    prev = next;
+  }
+  adns->add_a(prev, edge_ip, 300);
+
+  const auto result = resolve(fat);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address, edge_ip);
+  EXPECT_EQ(adns->truncated_sent(), 0u);  // EDNS lifted the 512-byte limit
+}
+
+TEST_F(DnsFixture, NonEdnsQueryGetsTruncatedAnswer) {
+  // Build the same fat chain, then query WITHOUT an OPT record through a
+  // raw socket: the server must truncate to header+question with TC set.
+  const auto fat = DnsName::parse("fat.example.com").value();
+  DnsName prev = fat;
+  for (int i = 0; i < 12; ++i) {
+    const auto next =
+        DnsName::parse("chain-node-number-" + std::to_string(i) + ".example.com").value();
+    adns->add_cname(prev, next, 300);
+    prev = next;
+  }
+  adns->add_a(prev, edge_ip, 300);
+
+  DnsMessage query;
+  query.header.id = 77;
+  query.header.rd = true;
+  query.questions.push_back(Question{fat, RrType::A, RrClass::In});
+
+  Result<DnsMessage> got = make_error<DnsMessage>("pending");
+  net->bind_udp(client, 55000, [&got](const net::Datagram& d) {
+    got = decode(d.payload);
+  });
+  net->send_datagram(client, 55000, net::Endpoint{adns_ip, net::kDnsPort}, encode(query));
+  sim.run();
+  net->unbind_udp(client, 55000);
+
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().header.tc);
+  EXPECT_TRUE(got.value().answers.empty());
+  EXPECT_EQ(got.value().questions.size(), 1u);
+  EXPECT_EQ(adns->truncated_sent(), 1u);
+}
+
+TEST_F(DnsFixture, UdpPayloadLimitParsing) {
+  DnsMessage plain;
+  EXPECT_EQ(udp_payload_limit(plain), kClassicUdpPayload);
+  DnsMessage with_opt;
+  with_opt.additionals.push_back(make_opt_record(4096));
+  EXPECT_EQ(udp_payload_limit(with_opt), 4096u);
+  DnsMessage tiny_opt;
+  tiny_opt.additionals.push_back(make_opt_record(100));  // below the floor
+  EXPECT_EQ(udp_payload_limit(tiny_opt), kClassicUdpPayload);
+}
+
+}  // namespace
+}  // namespace ape::dns

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "http/edge_server.hpp"
+#include "http/endpoint.hpp"
+#include "http/message.hpp"
+#include "http/origin_server.hpp"
+#include "http/url.hpp"
+
+namespace ape::http {
+namespace {
+
+// ------------------------------------------------------------------ Url
+
+TEST(Url, ParsesFullForm) {
+  const auto url = Url::parse("http://api.example.com:8080/path/obj?x=1&y=2");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().scheme, "http");
+  EXPECT_EQ(url.value().host, "api.example.com");
+  EXPECT_EQ(url.value().port, 8080);
+  EXPECT_EQ(url.value().path, "/path/obj");
+  EXPECT_EQ(url.value().query, "x=1&y=2");
+}
+
+TEST(Url, DefaultsSchemeAndPath) {
+  const auto url = Url::parse("example.com");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().scheme, "http");
+  EXPECT_EQ(url.value().path, "/");
+  EXPECT_EQ(url.value().effective_port(), 80);
+}
+
+TEST(Url, HttpsDefaultPort) {
+  const auto url = Url::parse("https://secure.example.com/x");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().effective_port(), 443);
+}
+
+TEST(Url, BaseStripsQuery) {
+  // The paper's cache identity: "basic URLs without parameters" (IV-A).
+  const auto url = Url::parse("http://h.com/obj?session=abc123");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url.value().base(), "http://h.com/obj");
+  EXPECT_EQ(url.value().to_string(), "http://h.com/obj?session=abc123");
+}
+
+TEST(Url, HostLowercased) {
+  EXPECT_EQ(Url::parse("http://API.Example.COM/x").value().host, "api.example.com");
+}
+
+TEST(Url, RejectsMalformed) {
+  EXPECT_FALSE(Url::parse("ftp://x.com/a").ok());
+  EXPECT_FALSE(Url::parse("http:///nohost").ok());
+  EXPECT_FALSE(Url::parse("http://h.com:notaport/").ok());
+  EXPECT_FALSE(Url::parse("http://h.com:0/").ok());
+  EXPECT_FALSE(Url::parse("").ok());
+}
+
+TEST(Url, RoundTripEquality) {
+  const auto a = Url::parse("http://h.com/obj?q=1").value();
+  const auto b = Url::parse(a.to_string()).value();
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------- Messages
+
+TEST(HttpMessage, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "GET";
+  req.url = Url::parse("http://h.example/obj?a=1").value();
+  req.headers.emplace_back("X-Ape-Priority", "2");
+  req.simulated_body_bytes = 12345;
+
+  const auto parsed = HttpRequest::from_tcp(req.to_tcp());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().method, "GET");
+  EXPECT_EQ(parsed.value().url.base(), "http://h.example/obj");
+  EXPECT_EQ(parsed.value().url.query, "a=1");
+  EXPECT_EQ(parsed.value().simulated_body_bytes, 12345u);
+  ASSERT_NE(find_header(parsed.value().headers, "X-Ape-Priority"), nullptr);
+  EXPECT_EQ(*find_header(parsed.value().headers, "X-Ape-Priority"), "2");
+}
+
+TEST(HttpMessage, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.headers.emplace_back("X-Cache", "AP-HIT");
+  resp.body = "inline";
+  resp.simulated_body_bytes = 5000;
+
+  const auto parsed = HttpResponse::from_tcp(resp.to_tcp());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().status, 200);
+  EXPECT_EQ(parsed.value().body, "inline");
+  EXPECT_EQ(parsed.value().total_body_bytes(), 5006u);
+  EXPECT_TRUE(parsed.value().ok());
+}
+
+TEST(HttpMessage, WireSizeIncludesSimulatedBody) {
+  HttpResponse small = make_status_response(200);
+  HttpResponse big = make_status_response(200);
+  big.simulated_body_bytes = 100'000;
+  EXPECT_GT(big.to_tcp().wire_size(), small.to_tcp().wire_size() + 99'000);
+}
+
+TEST(HttpMessage, FindHeaderIsCaseInsensitive) {
+  Headers headers{{"Content-Type", "text/plain"}};
+  EXPECT_NE(find_header(headers, "content-type"), nullptr);
+  EXPECT_EQ(find_header(headers, "missing"), nullptr);
+}
+
+TEST(HttpMessage, FromTcpRejectsGarbage) {
+  net::TcpMessage junk;
+  junk.bytes = {0x01, 0x02, 0x03};
+  EXPECT_FALSE(HttpRequest::from_tcp(junk).ok());
+  EXPECT_FALSE(HttpResponse::from_tcp(junk).ok());
+}
+
+TEST(HttpMessage, StatusHelpers) {
+  EXPECT_TRUE(make_status_response(204).ok());
+  EXPECT_FALSE(make_status_response(404).ok());
+  EXPECT_FALSE(make_status_response(502).ok());
+}
+
+// ------------------------------------------------------ servers/clients
+
+struct HttpFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<net::TcpTransport> tcp;
+  net::NodeId client{}, server{}, origin{};
+  net::IpAddress server_ip = net::IpAddress::from_octets(10, 0, 0, 2);
+  net::IpAddress origin_ip = net::IpAddress::from_octets(10, 0, 0, 3);
+  std::unique_ptr<sim::ServiceQueue> server_cpu, origin_cpu;
+
+  void SetUp() override {
+    client = topo.add_node("client");
+    server = topo.add_node("server");
+    origin = topo.add_node("origin");
+    topo.add_link(client, server, net::LinkSpec{sim::milliseconds(5), 1e9});
+    topo.add_link(server, origin, net::LinkSpec{sim::milliseconds(20), 1e9});
+    net = std::make_unique<net::Network>(sim, topo);
+    net->assign_ip(client, net::IpAddress::from_octets(10, 0, 0, 1));
+    net->assign_ip(server, server_ip);
+    net->assign_ip(origin, origin_ip);
+    tcp = std::make_unique<net::TcpTransport>(*net);
+    server_cpu = std::make_unique<sim::ServiceQueue>(sim, 2);
+    origin_cpu = std::make_unique<sim::ServiceQueue>(sim, 2);
+  }
+
+  Result<HttpResponse> fetch(HttpClient& http, const std::string& url,
+                             FetchTiming* timing = nullptr) {
+    Result<HttpResponse> out = make_error<HttpResponse>("not called");
+    HttpRequest req;
+    req.url = Url::parse(url).value();
+    http.fetch(net::Endpoint{server_ip, net::kHttpPort}, std::move(req),
+               [&out, timing](Result<HttpResponse> r, FetchTiming t) {
+                 out = std::move(r);
+                 if (timing) *timing = t;
+               });
+    sim.run();
+    return out;
+  }
+};
+
+TEST_F(HttpFixture, ServerRoutesByLongestPrefix) {
+  HttpServer srv(*tcp, server, net::kHttpPort, *server_cpu);
+  srv.route("/api", [](const HttpRequest&, net::Endpoint, HttpServer::Responder r) {
+    r(make_status_response(200, "api"));
+  });
+  srv.route("/api/v2", [](const HttpRequest&, net::Endpoint, HttpServer::Responder r) {
+    r(make_status_response(200, "v2"));
+  });
+  HttpClient http(*tcp, client);
+  EXPECT_EQ(fetch(http, "http://s/api/v2/obj").value().body, "v2");
+  EXPECT_EQ(fetch(http, "http://s/api/other").value().body, "api");
+}
+
+TEST_F(HttpFixture, FallbackAndNoRoute) {
+  HttpServer srv(*tcp, server, net::kHttpPort, *server_cpu);
+  HttpClient http(*tcp, client);
+  EXPECT_EQ(fetch(http, "http://s/missing").value().status, 404);
+  srv.set_fallback([](const HttpRequest&, net::Endpoint, HttpServer::Responder r) {
+    r(make_status_response(200, "fallback"));
+  });
+  EXPECT_EQ(fetch(http, "http://s/missing").value().body, "fallback");
+}
+
+TEST_F(HttpFixture, FetchTimingMeasuresConnectAndFirstByte) {
+  HttpServer srv(*tcp, server, net::kHttpPort, *server_cpu);
+  srv.set_fallback([](const HttpRequest&, net::Endpoint, HttpServer::Responder r) {
+    r(make_status_response(200));
+  });
+  HttpClient http(*tcp, client);
+  FetchTiming timing;
+  ASSERT_TRUE(fetch(http, "http://s/x", &timing).ok());
+  // Connect: one RTT = 10 ms.  First byte: two RTTs + service.
+  EXPECT_EQ(timing.connect, sim::milliseconds(10));
+  EXPECT_GE(timing.first_byte, sim::milliseconds(20));
+  EXPECT_LT(timing.first_byte, sim::milliseconds(25));
+}
+
+TEST_F(HttpFixture, OriginServesCatalogObjects) {
+  OriginServer origin_srv(*tcp, server, *server_cpu);
+  ObjectSpec spec;
+  spec.base_url = "http://files.example/obj";
+  spec.size_bytes = 48'000;
+  spec.ttl_seconds = 1200;
+  spec.priority = 2;
+  spec.app_id = 7;
+  spec.extra_latency = sim::milliseconds(25);
+  origin_srv.catalog().add(spec);
+
+  HttpClient http(*tcp, client);
+  FetchTiming timing;
+  const auto resp = fetch(http, "http://files.example/obj?token=zzz", &timing);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().simulated_body_bytes, 48'000u);
+  EXPECT_EQ(*find_header(resp.value().headers, "X-Object-TTL"), "1200");
+  EXPECT_EQ(*find_header(resp.value().headers, "X-Object-Priority"), "2");
+  EXPECT_EQ(*find_header(resp.value().headers, "X-Object-App"), "7");
+  // Extra latency delayed the response.
+  EXPECT_GE(timing.first_byte, sim::milliseconds(45));
+}
+
+TEST_F(HttpFixture, OriginReturns404ForUnknown) {
+  OriginServer origin_srv(*tcp, server, *server_cpu);
+  HttpClient http(*tcp, client);
+  EXPECT_EQ(fetch(http, "http://files.example/nope").value().status, 404);
+}
+
+TEST_F(HttpFixture, EdgeServesPreloadedAsHit) {
+  EdgeCacheServer edge(*tcp, server, *server_cpu);
+  ObjectSpec spec;
+  spec.base_url = "http://app.example/obj";
+  spec.size_bytes = 10'000;
+  edge.host(spec);
+
+  HttpClient http(*tcp, client);
+  const auto resp = fetch(http, "http://app.example/obj");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*find_header(resp.value().headers, "X-Cache"), "HIT");
+  EXPECT_EQ(edge.hits(), 1u);
+}
+
+TEST_F(HttpFixture, EdgeMissWithoutUpstreamIs404) {
+  EdgeCacheServer edge(*tcp, server, *server_cpu);
+  HttpClient http(*tcp, client);
+  EXPECT_EQ(fetch(http, "http://app.example/missing").value().status, 404);
+  EXPECT_EQ(edge.misses(), 1u);
+}
+
+TEST_F(HttpFixture, EdgeMissFetchesFromOriginAndIngests) {
+  OriginServer origin_srv(*tcp, origin, *origin_cpu);
+  ObjectSpec spec;
+  spec.base_url = "http://app.example/far";
+  spec.size_bytes = 7'000;
+  spec.ttl_seconds = 900;
+  origin_srv.catalog().add(spec);
+
+  EdgeCacheServer edge(*tcp, server, *server_cpu);
+  edge.set_upstream(net::Endpoint{origin_ip, net::kHttpPort});
+
+  HttpClient http(*tcp, client);
+  const auto first = fetch(http, "http://app.example/far");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().simulated_body_bytes, 7'000u);
+  EXPECT_EQ(edge.misses(), 1u);
+
+  const auto second = fetch(http, "http://app.example/far");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(edge.hits(), 1u);  // now served locally
+  EXPECT_NE(edge.catalog().find("http://app.example/far"), nullptr);
+}
+
+TEST_F(HttpFixture, EdgeUpstreamFailurePropagatesAs502) {
+  EdgeCacheServer edge(*tcp, server, *server_cpu);
+  edge.set_upstream(net::Endpoint{origin_ip, net::kHttpPort});  // nothing listens
+  HttpClient http(*tcp, client);
+  EXPECT_EQ(fetch(http, "http://app.example/ghost").value().status, 502);
+}
+
+TEST_F(HttpFixture, ServiceCostScalesWithBytes) {
+  ServiceCost cost;
+  cost.base = sim::microseconds(100);
+  cost.per_kilobyte = sim::microseconds(10);
+  EXPECT_EQ(cost.for_bytes(0), sim::microseconds(100));
+  EXPECT_EQ(cost.for_bytes(10 * 1024), sim::microseconds(200));
+}
+
+}  // namespace
+}  // namespace ape::http

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/tcp.hpp"
+#include "net/topology.hpp"
+
+namespace ape::net {
+namespace {
+
+// ------------------------------------------------------------- Address
+
+TEST(IpAddress, RoundTripsDottedForm) {
+  const auto ip = IpAddress::parse("192.168.8.1");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip.value().to_string(), "192.168.8.1");
+}
+
+TEST(IpAddress, FromOctets) {
+  EXPECT_EQ(IpAddress::from_octets(10, 0, 0, 1).to_string(), "10.0.0.1");
+}
+
+TEST(IpAddress, RejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse("not-an-ip").ok());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").ok());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.256").ok());
+  EXPECT_FALSE(IpAddress::parse("").ok());
+}
+
+TEST(IpAddress, DummyIsTestNet2) {
+  EXPECT_EQ(kDummyIp.to_string(), "198.51.100.1");
+}
+
+TEST(Endpoint, ToString) {
+  EXPECT_EQ((Endpoint{IpAddress::from_octets(1, 2, 3, 4), 53}).to_string(), "1.2.3.4:53");
+}
+
+// ------------------------------------------------------------- Topology
+
+TEST(Topology, DirectLinkPath) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  t.add_link(a, b, LinkSpec{sim::milliseconds(5), 1e6});
+  const auto path = t.path(a, b);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops, 1u);
+  EXPECT_EQ(path->one_way_latency, sim::milliseconds(5));
+  EXPECT_DOUBLE_EQ(path->bottleneck_bandwidth, 1e6);
+}
+
+TEST(Topology, SelfPathIsFree) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto path = t.path(a, a);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops, 0u);
+  EXPECT_EQ(path->one_way_latency.count(), 0);
+}
+
+TEST(Topology, DisconnectedIsNullopt) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  EXPECT_FALSE(t.path(a, b).has_value());
+}
+
+TEST(Topology, ShortestLatencyWins) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto via = t.add_node("via");
+  t.add_link(a, b, LinkSpec{sim::milliseconds(50), 1e6});
+  t.add_link(a, via, LinkSpec{sim::milliseconds(5), 1e6});
+  t.add_link(via, b, LinkSpec{sim::milliseconds(5), 1e6});
+  const auto path = t.path(a, b);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops, 2u);
+  EXPECT_EQ(path->one_way_latency, sim::milliseconds(10));
+}
+
+TEST(Topology, BottleneckBandwidthIsMinimum) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  const auto c = t.add_node("c");
+  t.add_link(a, b, LinkSpec{sim::milliseconds(1), 10e6});
+  t.add_link(b, c, LinkSpec{sim::milliseconds(1), 2e6});
+  const auto path = t.path(a, c);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->bottleneck_bandwidth, 2e6);
+}
+
+TEST(Topology, MultiHopPathMaterializesRouters) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  t.add_multi_hop_path(a, b, 7, sim::milliseconds(2), 1e6);
+  const auto path = t.path(a, b);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops, 7u);
+  EXPECT_EQ(path->one_way_latency, sim::milliseconds(14));
+  EXPECT_EQ(path->rtt(), sim::milliseconds(28));
+}
+
+TEST(Topology, LinkDownPartitions) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  t.add_link(a, b, LinkSpec{sim::milliseconds(1), 1e6});
+  t.set_link_down(a, b, true);
+  EXPECT_FALSE(t.path(a, b).has_value());
+  t.set_link_down(a, b, false);
+  EXPECT_TRUE(t.path(a, b).has_value());
+}
+
+TEST(Topology, PathCacheInvalidatedByMutation) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  t.add_link(a, b, LinkSpec{sim::milliseconds(10), 1e6});
+  EXPECT_EQ(t.path(a, b)->one_way_latency, sim::milliseconds(10));
+  t.add_link(a, b, LinkSpec{sim::milliseconds(3), 1e6});  // replace spec
+  EXPECT_EQ(t.path(a, b)->one_way_latency, sim::milliseconds(3));
+}
+
+TEST(Topology, LinkExists) {
+  Topology t;
+  const auto a = t.add_node("a");
+  const auto b = t.add_node("b");
+  EXPECT_FALSE(t.link_exists(a, b));
+  t.add_link(a, b, LinkSpec{sim::milliseconds(1), 1e6});
+  EXPECT_TRUE(t.link_exists(a, b));
+  t.set_link_down(a, b, true);
+  EXPECT_FALSE(t.link_exists(a, b));
+}
+
+// -------------------------------------------------------------- Network
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim;
+  Topology topo;
+  std::unique_ptr<Network> net;
+  NodeId a{}, b{};
+  IpAddress ip_a = IpAddress::from_octets(10, 0, 0, 1);
+  IpAddress ip_b = IpAddress::from_octets(10, 0, 0, 2);
+
+  void SetUp() override {
+    a = topo.add_node("a");
+    b = topo.add_node("b");
+    topo.add_link(a, b, LinkSpec{sim::milliseconds(5), 1'000'000.0});
+    net = std::make_unique<Network>(sim, topo);
+    net->assign_ip(a, ip_a);
+    net->assign_ip(b, ip_b);
+  }
+};
+
+TEST_F(NetFixture, DatagramDelivered) {
+  std::string received;
+  sim::Time at{};
+  net->bind_udp(b, 53, [&](const Datagram& d) {
+    received = std::string(d.payload.begin(), d.payload.end());
+    at = sim.now();
+  });
+  EXPECT_TRUE(net->send_datagram(a, 1000, Endpoint{ip_b, 53}, Payload{'h', 'i'}));
+  sim.run();
+  EXPECT_EQ(received, "hi");
+  // 5 ms propagation + (2 + 28 overhead bytes) / 1 MB/s = 5.03 ms.
+  EXPECT_EQ(at.since_epoch, sim::milliseconds(5) + sim::microseconds(30));
+}
+
+TEST_F(NetFixture, SourceEndpointPreserved) {
+  Endpoint seen{};
+  net->bind_udp(b, 53, [&](const Datagram& d) { seen = d.source; });
+  net->send_datagram(a, 1234, Endpoint{ip_b, 53}, Payload{});
+  sim.run();
+  EXPECT_EQ(seen.ip, ip_a);
+  EXPECT_EQ(seen.port, 1234);
+}
+
+TEST_F(NetFixture, UnknownDestinationDropsImmediately) {
+  EXPECT_FALSE(net->send_datagram(a, 1, Endpoint{IpAddress::from_octets(9, 9, 9, 9), 53},
+                                  Payload{}));
+  EXPECT_EQ(net->counters().datagrams_dropped, 1u);
+}
+
+TEST_F(NetFixture, UnboundPortDropsAtDelivery) {
+  net->send_datagram(a, 1, Endpoint{ip_b, 999}, Payload{});
+  sim.run();
+  EXPECT_EQ(net->counters().datagrams_delivered, 0u);
+  EXPECT_EQ(net->counters().datagrams_dropped, 1u);
+}
+
+TEST_F(NetFixture, PartitionDropsDatagrams) {
+  topo.set_link_down(a, b, true);
+  net->bind_udp(b, 53, [](const Datagram&) { FAIL(); });
+  net->send_datagram(a, 1, Endpoint{ip_b, 53}, Payload{});
+  sim.run();
+  EXPECT_EQ(net->counters().datagrams_dropped, 1u);
+}
+
+TEST_F(NetFixture, TransferDelayScalesWithSize) {
+  const auto small = net->transfer_delay(a, b, 1000);
+  const auto large = net->transfer_delay(a, b, 100'000);
+  ASSERT_TRUE(small && large);
+  EXPECT_LT(*small, *large);
+}
+
+// ------------------------------------------------------------------ TCP
+
+struct TcpFixture : NetFixture {
+  std::unique_ptr<TcpTransport> tcp;
+  void SetUp() override {
+    NetFixture::SetUp();
+    tcp = std::make_unique<TcpTransport>(*net);
+  }
+};
+
+TEST_F(TcpFixture, ConnectTakesOneRtt) {
+  tcp->listen(b, 80, [](const TcpMessage&, Endpoint, TcpResponder respond) {
+    respond(TcpMessage{});
+  });
+  sim::Time connected{};
+  tcp->connect(a, Endpoint{ip_b, 80}, [&](Result<TcpConnectionPtr> conn) {
+    ASSERT_TRUE(conn.ok());
+    connected = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(connected.since_epoch, sim::milliseconds(10));  // 2 x 5 ms
+}
+
+TEST_F(TcpFixture, RequestResponseRoundTrip) {
+  tcp->listen(b, 80, [](const TcpMessage& req, Endpoint, TcpResponder respond) {
+    TcpMessage resp;
+    resp.bytes = req.bytes;  // echo
+    resp.bytes.push_back('!');
+    respond(std::move(resp));
+  });
+  std::string got;
+  tcp->connect(a, Endpoint{ip_b, 80}, [&](Result<TcpConnectionPtr> conn) {
+    ASSERT_TRUE(conn.ok());
+    TcpMessage req;
+    req.bytes = {'h', 'i'};
+    auto connection = conn.value();
+    connection->send_request(std::move(req), [&got, connection](Result<TcpMessage> resp) {
+      ASSERT_TRUE(resp.ok());
+      got = std::string(resp.value().bytes.begin(), resp.value().bytes.end());
+    });
+  });
+  sim.run();
+  EXPECT_EQ(got, "hi!");
+}
+
+TEST_F(TcpFixture, ConnectionRefusedWhenNobodyListens) {
+  bool refused = false;
+  tcp->connect(a, Endpoint{ip_b, 81}, [&](Result<TcpConnectionPtr> conn) {
+    refused = !conn.ok();
+    EXPECT_NE(conn.error().message.find("refused"), std::string::npos);
+  });
+  sim.run();
+  EXPECT_TRUE(refused);
+  EXPECT_EQ(tcp->counters().connects_refused, 1u);
+}
+
+TEST_F(TcpFixture, ConnectToUnroutableTimesOut) {
+  tcp->set_connect_timeout(sim::milliseconds(100));
+  bool timed_out = false;
+  tcp->connect(a, Endpoint{IpAddress::from_octets(9, 9, 9, 9), 80},
+               [&](Result<TcpConnectionPtr> conn) { timed_out = !conn.ok(); });
+  sim.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(sim.now().since_epoch, sim::milliseconds(100));
+}
+
+TEST_F(TcpFixture, PartitionTimesOutConnect) {
+  topo.set_link_down(a, b, true);
+  tcp->set_connect_timeout(sim::milliseconds(50));
+  bool failed = false;
+  tcp->connect(a, Endpoint{ip_b, 80}, [&](Result<TcpConnectionPtr> c) { failed = !c.ok(); });
+  sim.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(TcpFixture, ClosedConnectionRejectsRequests) {
+  tcp->listen(b, 80, [](const TcpMessage&, Endpoint, TcpResponder r) { r(TcpMessage{}); });
+  bool rejected = false;
+  tcp->connect(a, Endpoint{ip_b, 80}, [&](Result<TcpConnectionPtr> conn) {
+    ASSERT_TRUE(conn.ok());
+    conn.value()->close();
+    conn.value()->send_request(TcpMessage{},
+                               [&](Result<TcpMessage> r) { rejected = !r.ok(); });
+  });
+  sim.run();
+  EXPECT_TRUE(rejected);
+}
+
+TEST_F(TcpFixture, ServerConnectionCountTracksLifecycle) {
+  tcp->listen(b, 80, [](const TcpMessage&, Endpoint, TcpResponder r) { r(TcpMessage{}); });
+  TcpConnectionPtr held;
+  tcp->connect(a, Endpoint{ip_b, 80}, [&](Result<TcpConnectionPtr> conn) {
+    held = conn.value();
+  });
+  sim.run();
+  EXPECT_EQ(tcp->server_connection_count(b), 1u);
+  held.reset();
+  EXPECT_EQ(tcp->server_connection_count(b), 0u);
+}
+
+TEST_F(TcpFixture, LargeBodySlowerThanSmall) {
+  tcp->listen(b, 80, [](const TcpMessage& req, Endpoint, TcpResponder respond) {
+    TcpMessage resp;
+    resp.simulated_body_bytes = req.simulated_body_bytes;
+    respond(std::move(resp));
+  });
+  auto timed_fetch = [&](std::size_t body) {
+    sim::Time start = sim.now();
+    sim::Duration took{};
+    tcp->connect(a, Endpoint{ip_b, 80}, [&, start, body](Result<TcpConnectionPtr> conn) {
+      TcpMessage req;
+      req.simulated_body_bytes = body;
+      auto connection = conn.value();
+      connection->send_request(std::move(req),
+                               [&, start, connection](Result<TcpMessage>) {
+                                 took = sim.now() - start;
+                               });
+    });
+    sim.run();
+    return took;
+  };
+  const auto small = timed_fetch(100);
+  const auto large = timed_fetch(500'000);
+  EXPECT_LT(small, large);
+}
+
+}  // namespace
+}  // namespace ape::net

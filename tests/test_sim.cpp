@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource_meter.hpp"
+#include "sim/rng.hpp"
+#include "sim/service_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace ape::sim {
+namespace {
+
+// ------------------------------------------------------------ Simulator
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now().since_epoch.count(), 0);
+}
+
+TEST(Simulator, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule_in(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_in(milliseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeFiresInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_in(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  Time seen{};
+  sim.schedule_in(milliseconds(12.5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.since_epoch, milliseconds(12.5));
+}
+
+TEST(Simulator, PastTimesClampToNow) {
+  Simulator sim;
+  sim.schedule_in(milliseconds(10), [&] {
+    // Scheduling "in the past" fires at now, not before.
+    sim.schedule_at(Time{milliseconds(1)}, [&] { EXPECT_EQ(sim.now().millis(), 10.0); });
+  });
+  sim.run();
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_in(milliseconds(5), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator sim;
+  const auto id = sim.schedule_in(milliseconds(5), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireFails) {
+  Simulator sim;
+  const auto id = sim.schedule_in(milliseconds(5), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(milliseconds(10), [&] { ++fired; });
+  sim.schedule_in(milliseconds(30), [&] { ++fired; });
+  sim.run_until(Time{milliseconds(20)});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().since_epoch, milliseconds(20));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_in(milliseconds(20), [&] { fired = true; });
+  sim.run_until(Time{milliseconds(20)});
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_in(milliseconds(1), recurse);
+  };
+  sim.schedule_in(milliseconds(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now().since_epoch, milliseconds(10));
+}
+
+TEST(Simulator, StepFiresBoundedCount) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule_in(milliseconds(i + 1), [&] { ++fired; });
+  EXPECT_EQ(sim.step(2), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PendingCountsLiveEvents) {
+  Simulator sim;
+  const auto a = sim.schedule_in(milliseconds(1), [] {});
+  sim.schedule_in(milliseconds(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilSkipsTombstonesBeyondDeadline) {
+  Simulator sim;
+  const auto id = sim.schedule_in(milliseconds(5), [] { FAIL(); });
+  sim.cancel(id);
+  bool fired = false;
+  sim.schedule_in(milliseconds(15), [&] { fired = true; });
+  sim.run_until(Time{milliseconds(20)});
+  EXPECT_TRUE(fired);
+}
+
+// ------------------------------------------------------------ TimeTypes
+
+TEST(TimeTypes, Conversions) {
+  EXPECT_EQ(milliseconds(1.5).count(), 1500);
+  EXPECT_EQ(seconds(2.0).count(), 2'000'000);
+  EXPECT_EQ(minutes(1.0).count(), 60'000'000);
+  EXPECT_DOUBLE_EQ(to_millis(microseconds(2500)), 2.5);
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(1500.0)), 1.5);
+}
+
+TEST(TimeTypes, Arithmetic) {
+  const Time t{seconds(1.0)};
+  EXPECT_EQ((t + seconds(2.0)).since_epoch, seconds(3.0));
+  EXPECT_EQ((t - milliseconds(500.0)).since_epoch, milliseconds(500.0));
+  EXPECT_EQ(Time{seconds(3.0)} - t, seconds(2.0));
+  EXPECT_LT(t, Time{seconds(2.0)});
+}
+
+// ---------------------------------------------------------- ServiceQueue
+
+TEST(ServiceQueue, IdleJobCompletesAfterServiceTime) {
+  Simulator sim;
+  ServiceQueue q(sim, 1);
+  Time done{};
+  q.submit(milliseconds(5), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done.since_epoch, milliseconds(5));
+}
+
+TEST(ServiceQueue, JobsQueueWhenBusy) {
+  Simulator sim;
+  ServiceQueue q(sim, 1);
+  Time first{}, second{};
+  q.submit(milliseconds(10), [&] { first = sim.now(); });
+  q.submit(milliseconds(10), [&] { second = sim.now(); });
+  EXPECT_EQ(q.queued(), 1u);
+  sim.run();
+  EXPECT_EQ(first.since_epoch, milliseconds(10));
+  EXPECT_EQ(second.since_epoch, milliseconds(20));  // waited behind the first
+}
+
+TEST(ServiceQueue, MultipleServersRunInParallel) {
+  Simulator sim;
+  ServiceQueue q(sim, 2);
+  Time first{}, second{};
+  q.submit(milliseconds(10), [&] { first = sim.now(); });
+  q.submit(milliseconds(10), [&] { second = sim.now(); });
+  sim.run();
+  EXPECT_EQ(first.since_epoch, milliseconds(10));
+  EXPECT_EQ(second.since_epoch, milliseconds(10));
+}
+
+TEST(ServiceQueue, BusyTimeAccumulates) {
+  Simulator sim;
+  ServiceQueue q(sim, 1);
+  q.submit(milliseconds(3));
+  q.submit(milliseconds(4));
+  sim.run();
+  EXPECT_EQ(q.busy_time(), milliseconds(7));
+  EXPECT_EQ(q.jobs_completed(), 2u);
+}
+
+TEST(ServiceQueue, FifoOrder) {
+  Simulator sim;
+  ServiceQueue q(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    q.submit(milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ServiceQueue, ZeroServiceTimeCompletesImmediately) {
+  Simulator sim;
+  ServiceQueue q(sim, 1);
+  bool done = false;
+  q.submit(Duration{0}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now().since_epoch.count(), 0);
+}
+
+// --------------------------------------------------------- ResourceMeter
+
+TEST(ResourceMeter, MeasuresUtilization) {
+  Simulator sim;
+  ServiceQueue q(sim, 1);
+  ResourceMeter meter(sim, 1);
+  meter.add_cpu_source([&q] { return q.busy_time(); });
+  meter.start(seconds(1.0), Time{seconds(10.0)});
+  // Busy 500 ms of each 1 s window.
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(Time{seconds(static_cast<double>(i))},
+                    [&q] { q.submit(milliseconds(500.0)); });
+  }
+  sim.run();
+  ASSERT_FALSE(meter.samples().empty());
+  EXPECT_NEAR(meter.mean_cpu(), 0.5, 0.05);
+}
+
+TEST(ResourceMeter, UtilizationScalesWithCapacity) {
+  Simulator sim;
+  ServiceQueue q(sim, 2);
+  ResourceMeter meter(sim, 2);  // two cores
+  meter.add_cpu_source([&q] { return q.busy_time(); });
+  meter.start(seconds(1.0), Time{seconds(4.0)});
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_at(Time{seconds(static_cast<double>(i))},
+                    [&q] { q.submit(milliseconds(1000.0)); });
+  }
+  sim.run();
+  EXPECT_NEAR(meter.mean_cpu(), 0.5, 0.05);  // one of two cores busy
+}
+
+TEST(ResourceMeter, MemorySources) {
+  Simulator sim;
+  ResourceMeter meter(sim, 1);
+  std::size_t mem = 10 * 1024 * 1024;
+  meter.add_memory_source([&mem] { return mem; });
+  meter.start(seconds(1.0), Time{seconds(3.0)});
+  sim.schedule_at(Time{seconds(1.5)}, [&mem] { mem = 20 * 1024 * 1024; });
+  sim.run();
+  EXPECT_NEAR(meter.peak_memory_mb(), 20.0, 0.01);
+  EXPECT_GT(meter.peak_memory_mb(), meter.mean_memory_mb());
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(1.5, 2.5);
+    EXPECT_GE(v, 1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(4.0);
+  EXPECT_NEAR(acc / n, 4.0, 0.15);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(3);
+  const auto p = rng.permutation(20);
+  std::vector<bool> seen(20, false);
+  for (std::size_t idx : p) {
+    ASSERT_LT(idx, 20u);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+// ------------------------------------------------------------------ Zipf
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(50, 0.8);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 50; ++k) total += zipf.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostLikely) {
+  ZipfDistribution zipf(10, 1.0);
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_GT(zipf.probability(0), zipf.probability(k));
+  }
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfDistribution zipf(10, 0.8);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 10u);
+}
+
+TEST(Zipf, EmpiricalMatchesTheory) {
+  ZipfDistribution zipf(5, 1.0);
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.probability(k), 0.01);
+  }
+}
+
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, HigherRanksNeverMoreLikely) {
+  ZipfDistribution zipf(32, GetParam());
+  for (std::size_t k = 1; k < 32; ++k) {
+    EXPECT_GE(zipf.probability(k - 1), zipf.probability(k) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace ape::sim

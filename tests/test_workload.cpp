@@ -1,0 +1,299 @@
+// Workload substrate: app DAG model, critical-path priorities, the
+// dummy-app generator, Zipf arrivals, and the traffic traces of Table II.
+#include <gtest/gtest.h>
+
+#include "workload/app_generator.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/critical_path.hpp"
+#include "workload/real_apps.hpp"
+#include "workload/traffic_trace.hpp"
+
+namespace ape::workload {
+namespace {
+
+// ------------------------------------------------------------- app model
+
+TEST(AppModel, MovieTrailerMatchesPaperStructure) {
+  const AppSpec app = make_movie_trailer();
+  ASSERT_TRUE(app.valid());
+  ASSERT_EQ(app.requests.size(), 5u);  // id + rating/plot/cast/thumbnail
+  EXPECT_EQ(app.requests[0].depends_on.size(), 0u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_EQ(app.requests[i].depends_on, std::vector<std::size_t>{0});
+  }
+  // Table III: movieID and thumbnail high priority, the rest low.
+  EXPECT_EQ(app.requests[0].priority, 2);  // getMovieID
+  EXPECT_EQ(app.requests[1].priority, 1);  // rating
+  EXPECT_EQ(app.requests[2].priority, 1);  // plot
+  EXPECT_EQ(app.requests[3].priority, 1);  // cast
+  EXPECT_EQ(app.requests[4].priority, 2);  // thumbnail
+}
+
+TEST(AppModel, VirtualHomeMatchesTableIII) {
+  const AppSpec app = make_virtual_home();
+  ASSERT_TRUE(app.valid());
+  ASSERT_EQ(app.requests.size(), 2u);
+  EXPECT_EQ(app.requests[0].priority, 1);  // ARObjectsID low
+  EXPECT_EQ(app.requests[1].priority, 2);  // ARObjects high
+}
+
+TEST(AppModel, CacheablesMirrorRequests) {
+  const AppSpec app = make_movie_trailer();
+  const auto cacheables = app.cacheables();
+  ASSERT_EQ(cacheables.size(), app.requests.size());
+  EXPECT_EQ(cacheables[0].id, "http://api.movietrailer.app/getMovieID");
+  EXPECT_EQ(cacheables[0].app, app.id);
+  EXPECT_EQ(cacheables[4].priority, 2);
+}
+
+TEST(AppModel, ObjectsCarryEdgeHostingMetadata) {
+  const AppSpec app = make_virtual_home();
+  const auto objects = app.objects();
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(objects[1].size_bytes, app.requests[1].size_bytes);
+  EXPECT_EQ(objects[1].ttl_seconds, app.requests[1].ttl_minutes * 60);
+  EXPECT_EQ(objects[1].app_id, app.id);
+}
+
+TEST(AppModel, ValidRejectsOutOfRangeDeps) {
+  AppSpec app;
+  RequestSpec r;
+  r.depends_on = {5};
+  app.requests.push_back(r);
+  EXPECT_FALSE(app.valid());
+}
+
+TEST(AppModel, ValidRejectsCycles) {
+  AppSpec app;
+  RequestSpec a, b;
+  a.depends_on = {1};
+  b.depends_on = {0};
+  app.requests.push_back(a);
+  app.requests.push_back(b);
+  EXPECT_FALSE(app.valid());
+}
+
+TEST(AppModel, TotalBytes) {
+  const AppSpec app = make_virtual_home();
+  EXPECT_EQ(app.total_object_bytes(), 153'000u);
+}
+
+// --------------------------------------------------------- critical path
+
+TEST(CriticalPath, MovieTrailerGoesThroughThumbnail) {
+  const AppSpec app = make_movie_trailer();
+  const CriticalPath path = critical_path(app);
+  // Paper Sec. III-A: critical path is getMovieID -> getThumbnail.
+  ASSERT_EQ(path.request_indices.size(), 2u);
+  EXPECT_EQ(app.requests[path.request_indices[0]].name, "getMovieID");
+  EXPECT_EQ(app.requests[path.request_indices[1]].name, "getThumbnail");
+}
+
+TEST(CriticalPath, SingleNodeApp) {
+  AppSpec app;
+  RequestSpec r;
+  r.name = "only";
+  r.retrieval_latency = sim::milliseconds(10);
+  app.requests.push_back(r);
+  const CriticalPath path = critical_path(app);
+  ASSERT_EQ(path.request_indices.size(), 1u);
+  EXPECT_GT(path.expected_duration.count(), 0);
+}
+
+TEST(CriticalPath, DeepChainBeatsWideFanout) {
+  AppSpec app;
+  auto add = [&app](double ms, std::vector<std::size_t> deps) {
+    RequestSpec r;
+    r.name = "r" + std::to_string(app.requests.size());
+    r.retrieval_latency = sim::milliseconds(ms);
+    r.size_bytes = 0;
+    r.depends_on = std::move(deps);
+    app.requests.push_back(r);
+  };
+  add(10, {});        // 0
+  add(10, {0});       // 1
+  add(10, {1});       // 2: chain 0-1-2 = 30 ms
+  add(25, {0});       // 3: branch 0-3 = 35 ms -> critical
+  const CriticalPath path = critical_path(app);
+  ASSERT_EQ(path.request_indices.size(), 2u);
+  EXPECT_EQ(path.request_indices.back(), 3u);
+}
+
+TEST(CriticalPath, AssignPrioritiesMarksPathHigh) {
+  AppSpec app = make_movie_trailer();
+  for (auto& r : app.requests) r.priority = 0;  // wipe
+  assign_priorities_by_critical_path(app);
+  EXPECT_EQ(app.requests[0].priority, 2);
+  EXPECT_EQ(app.requests[4].priority, 2);
+  EXPECT_EQ(app.requests[1].priority, 1);
+}
+
+TEST(CriticalPath, ExpectedFetchTimeGrowsWithSize) {
+  RequestSpec small, large;
+  small.size_bytes = 1'000;
+  large.size_bytes = 100'000;
+  small.retrieval_latency = large.retrieval_latency = sim::milliseconds(30);
+  EXPECT_LT(expected_fetch_time(small), expected_fetch_time(large));
+}
+
+// ------------------------------------------------------------- generator
+
+TEST(AppGenerator, ProducesRequestedCount) {
+  GeneratorParams params;
+  params.app_count = 28;
+  sim::Rng rng(1);
+  const auto apps = generate_apps(params, rng);
+  EXPECT_EQ(apps.size(), 28u);
+}
+
+TEST(AppGenerator, RespectsConfiguredRanges) {
+  GeneratorParams params;
+  params.app_count = 50;
+  sim::Rng rng(2);
+  const auto apps = generate_apps(params, rng);
+  for (const auto& app : apps) {
+    ASSERT_TRUE(app.valid());
+    ASSERT_GE(app.requests.size(), 1u + params.min_fanout);
+    ASSERT_LE(app.requests.size(), 1u + params.max_fanout);
+    for (const auto& r : app.requests) {
+      EXPECT_GE(r.size_bytes, params.min_object_bytes);
+      EXPECT_LE(r.size_bytes, params.max_object_bytes);
+      EXPECT_GE(r.ttl_minutes, params.min_ttl_minutes);
+      EXPECT_LE(r.ttl_minutes, params.max_ttl_minutes);
+      EXPECT_GE(sim::to_millis(r.retrieval_latency), params.min_retrieval_ms);
+      EXPECT_LE(sim::to_millis(r.retrieval_latency), params.max_retrieval_ms);
+    }
+  }
+}
+
+TEST(AppGenerator, UniqueDomainsAndIds) {
+  GeneratorParams params;
+  params.app_count = 30;
+  sim::Rng rng(3);
+  const auto apps = generate_apps(params, rng);
+  std::set<std::string> domains;
+  std::set<core::AppId> ids;
+  for (const auto& app : apps) {
+    domains.insert(app.domain);
+    ids.insert(app.id);
+  }
+  EXPECT_EQ(domains.size(), 30u);
+  EXPECT_EQ(ids.size(), 30u);
+}
+
+TEST(AppGenerator, EveryAppHasHighAndLowPriority) {
+  GeneratorParams params;
+  params.app_count = 20;
+  sim::Rng rng(4);
+  for (const auto& app : generate_apps(params, rng)) {
+    bool has_high = false, has_low = false;
+    for (const auto& r : app.requests) {
+      has_high |= r.priority == 2;
+      has_low |= r.priority == 1;
+    }
+    EXPECT_TRUE(has_high);
+    EXPECT_TRUE(has_low);  // fanout >= 2 guarantees an off-path request
+  }
+}
+
+TEST(AppGenerator, DeterministicForSameSeed) {
+  GeneratorParams params;
+  sim::Rng a(9), b(9);
+  const auto apps_a = generate_apps(params, a);
+  const auto apps_b = generate_apps(params, b);
+  ASSERT_EQ(apps_a.size(), apps_b.size());
+  for (std::size_t i = 0; i < apps_a.size(); ++i) {
+    EXPECT_EQ(apps_a[i].requests.size(), apps_b[i].requests.size());
+    for (std::size_t j = 0; j < apps_a[i].requests.size(); ++j) {
+      EXPECT_EQ(apps_a[i].requests[j].size_bytes, apps_b[i].requests[j].size_bytes);
+    }
+  }
+}
+
+// -------------------------------------------------------------- arrivals
+
+TEST(Arrivals, AverageRateMatchesConfiguration) {
+  sim::Rng rng(5);
+  ArrivalSchedule schedule(30, 3.0, 0.8, rng);
+  double total_rate = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) total_rate += schedule.rate_per_minute(i);
+  EXPECT_NEAR(total_rate / 30.0, 3.0, 1e-9);
+}
+
+TEST(Arrivals, ZipfSkewsPopularity) {
+  sim::Rng rng(6);
+  ArrivalSchedule schedule(10, 3.0, 1.0, rng);
+  EXPECT_GT(schedule.rate_per_minute(0), schedule.rate_per_minute(9) * 2.0);
+}
+
+TEST(Arrivals, EventsAreTimeOrderedAndWithinHorizon) {
+  sim::Rng rng(7);
+  ArrivalSchedule schedule(5, 6.0, 0.8, rng);
+  const sim::Time horizon{sim::minutes(10.0)};
+  sim::Time last{};
+  std::size_t count = 0;
+  while (auto a = schedule.next(horizon)) {
+    EXPECT_GE(a->at, last);
+    EXPECT_LE(a->at, horizon);
+    ASSERT_LT(a->app_index, 5u);
+    last = a->at;
+    ++count;
+  }
+  // 5 apps x 6/min x 10 min = 300 expected.
+  EXPECT_NEAR(static_cast<double>(count), 300.0, 90.0);
+}
+
+TEST(Arrivals, EmpiricalFrequencyConverges) {
+  sim::Rng rng(8);
+  ArrivalSchedule schedule(4, 3.0, 0.8, rng);
+  std::vector<std::size_t> counts(4, 0);
+  const sim::Time horizon{sim::minutes(200.0)};
+  while (auto a = schedule.next(horizon)) ++counts[a->app_index];
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected = schedule.rate_per_minute(i) * 200.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, expected * 0.25 + 20.0);
+  }
+}
+
+// -------------------------------------------------------- traffic traces
+
+TEST(TrafficTrace, SpecsMatchTableII) {
+  const TraceSpec low = low_rate_trace();
+  EXPECT_EQ(low.packets, 14'261u);
+  EXPECT_EQ(low.flows, 1'209u);
+  EXPECT_EQ(low.app_count, 28u);
+  EXPECT_NEAR(low.average_packet_bytes(), 646.0, 60.0);
+
+  const TraceSpec high = high_rate_trace();
+  EXPECT_EQ(high.packets, 791'615u);
+  EXPECT_EQ(high.flows, 40'686u);
+  EXPECT_EQ(high.app_count, 132u);
+  EXPECT_NEAR(high.average_packet_bytes(), 449.0, 60.0);
+}
+
+TEST(TrafficTrace, GeneratedTraceMatchesSpecCounts) {
+  sim::Rng rng(10);
+  const TraceSpec spec = low_rate_trace();
+  const auto packets = generate_trace(spec, rng);
+  EXPECT_EQ(packets.size(), spec.packets);
+  std::size_t flows = 0;
+  for (const auto& p : packets) {
+    flows += p.starts_flow ? 1 : 0;
+    EXPECT_LE(p.at.since_epoch, spec.duration);
+    EXPECT_GE(p.bytes, 60u);
+    EXPECT_LE(p.bytes, 1500u);
+  }
+  EXPECT_NEAR(static_cast<double>(flows), static_cast<double>(spec.flows),
+              static_cast<double>(spec.flows) * 0.1);
+}
+
+TEST(TrafficTrace, PacketsAreTimeOrdered) {
+  sim::Rng rng(11);
+  const auto packets = generate_trace(low_rate_trace(), rng);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_GE(packets[i].at, packets[i - 1].at);
+  }
+}
+
+}  // namespace
+}  // namespace ape::workload

@@ -1,0 +1,142 @@
+// The RFC 1035 master-file parser and its integration with the
+// authoritative server.
+#include <gtest/gtest.h>
+
+#include "dns/stub_resolver.hpp"
+#include "dns/zone.hpp"
+
+namespace ape::dns {
+namespace {
+
+constexpr const char* kSample = R"(
+; example zone for tests
+$ORIGIN example.com.
+$TTL 600
+@        IN A     10.0.0.1
+www          A     10.0.0.2          ; relative name, default TTL
+api      30  IN A     10.0.0.3      ; explicit TTL
+alias        IN CNAME www            ; relative target
+ext          CNAME cdn.example.net. ; absolute target
+)";
+
+TEST(ZoneParser, ParsesSampleZone) {
+  const auto zone = parse_zone(kSample);
+  ASSERT_TRUE(zone.ok()) << zone.error().message;
+  EXPECT_EQ(zone.value().origin.to_string(), "example.com");
+  EXPECT_EQ(zone.value().default_ttl, 600u);
+  ASSERT_EQ(zone.value().records.size(), 5u);
+}
+
+TEST(ZoneParser, ResolvesRelativeAndAbsoluteNames) {
+  const auto zone = parse_zone(kSample).value();
+  EXPECT_EQ(zone.records[0].name.to_string(), "example.com");  // @
+  EXPECT_EQ(zone.records[1].name.to_string(), "www.example.com");
+  EXPECT_EQ(zone.records[3].target.to_string(), "www.example.com");
+  EXPECT_EQ(zone.records[4].target.to_string(), "cdn.example.net");
+}
+
+TEST(ZoneParser, TtlDefaultsAndOverrides) {
+  const auto zone = parse_zone(kSample).value();
+  EXPECT_EQ(zone.records[1].ttl, 600u);  // default
+  EXPECT_EQ(zone.records[2].ttl, 30u);   // explicit
+}
+
+TEST(ZoneParser, ParsesAddresses) {
+  const auto zone = parse_zone(kSample).value();
+  EXPECT_EQ(zone.records[2].address.to_string(), "10.0.0.3");
+  EXPECT_EQ(zone.records[2].type, RrType::A);
+  EXPECT_EQ(zone.records[3].type, RrType::Cname);
+}
+
+TEST(ZoneParser, CommentsAndBlankLinesIgnored) {
+  const auto zone = parse_zone("$ORIGIN x.com.\n\n; only a comment\n@ A 1.2.3.4 ; tail\n");
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone.value().records.size(), 1u);
+}
+
+TEST(ZoneParser, RejectsRecordBeforeOrigin) {
+  EXPECT_FALSE(parse_zone("www A 1.2.3.4\n").ok());
+}
+
+TEST(ZoneParser, RejectsMissingOrigin) {
+  EXPECT_FALSE(parse_zone("; nothing here\n").ok());
+}
+
+TEST(ZoneParser, RejectsBadAddress) {
+  const auto r = parse_zone("$ORIGIN x.com.\nwww A 1.2.3.999\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(ZoneParser, RejectsUnsupportedType) {
+  EXPECT_FALSE(parse_zone("$ORIGIN x.com.\nwww MX mail.x.com.\n").ok());
+}
+
+TEST(ZoneParser, RejectsTrailingGarbage) {
+  EXPECT_FALSE(parse_zone("$ORIGIN x.com.\nwww A 1.2.3.4 extra\n").ok());
+}
+
+TEST(ZoneParser, RejectsBadTtlDirective) {
+  EXPECT_FALSE(parse_zone("$TTL soon\n$ORIGIN x.com.\n").ok());
+}
+
+TEST(ZoneParser, ErrorsCarryLineNumbers) {
+  const auto r = parse_zone("$ORIGIN x.com.\n\n\nbroken\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 4"), std::string::npos);
+}
+
+// ---- integration with the authoritative server --------------------------
+
+struct ZoneServerFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<sim::ServiceQueue> cpu;
+  std::unique_ptr<AuthoritativeDnsServer> adns;
+  std::unique_ptr<StubResolver> stub;
+
+  void SetUp() override {
+    const auto client = topo.add_node("client");
+    const auto server = topo.add_node("adns");
+    topo.add_link(client, server, net::LinkSpec{sim::milliseconds(2), 1e9});
+    net = std::make_unique<net::Network>(sim, topo);
+    net->assign_ip(client, net::IpAddress::from_octets(10, 0, 0, 1));
+    net->assign_ip(server, net::IpAddress::from_octets(10, 0, 0, 2));
+    cpu = std::make_unique<sim::ServiceQueue>(sim, 2);
+    adns = std::make_unique<AuthoritativeDnsServer>(*net, server, *cpu,
+                                                    sim::microseconds(100));
+    stub = std::make_unique<StubResolver>(
+        *net, client, net::Endpoint{net::IpAddress::from_octets(10, 0, 0, 2), 53}, 40000);
+  }
+};
+
+TEST_F(ZoneServerFixture, LoadZoneServesRecords) {
+  const auto count = load_zone(*adns, kSample);
+  ASSERT_TRUE(count.ok()) << count.error().message;
+  EXPECT_EQ(count.value(), 5u);
+
+  Result<ResolveResult> result = make_error<ResolveResult>("pending");
+  stub->resolve(DnsName::parse("www.example.com").value(),
+                [&](Result<ResolveResult> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address.to_string(), "10.0.0.2");
+}
+
+TEST_F(ZoneServerFixture, LoadedCnameChainsResolve) {
+  ASSERT_TRUE(load_zone(*adns, kSample).ok());
+  Result<ResolveResult> result = make_error<ResolveResult>("pending");
+  stub->resolve(DnsName::parse("alias.example.com").value(),
+                [&](Result<ResolveResult> r) { result = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().address.to_string(), "10.0.0.2");  // via www
+}
+
+TEST_F(ZoneServerFixture, LoadZonePropagatesParseErrors) {
+  EXPECT_FALSE(load_zone(*adns, "www A 1.2.3.4").ok());
+}
+
+}  // namespace
+}  // namespace ape::dns
