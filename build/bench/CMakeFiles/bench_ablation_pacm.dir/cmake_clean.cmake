@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pacm.dir/bench_ablation_pacm.cpp.o"
+  "CMakeFiles/bench_ablation_pacm.dir/bench_ablation_pacm.cpp.o.d"
+  "bench_ablation_pacm"
+  "bench_ablation_pacm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pacm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pacm.dir/bench_micro_pacm.cpp.o"
+  "CMakeFiles/bench_micro_pacm.dir/bench_micro_pacm.cpp.o.d"
+  "bench_micro_pacm"
+  "bench_micro_pacm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pacm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

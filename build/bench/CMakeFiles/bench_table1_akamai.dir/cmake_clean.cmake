@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_akamai.dir/bench_table1_akamai.cpp.o"
+  "CMakeFiles/bench_table1_akamai.dir/bench_table1_akamai.cpp.o.d"
+  "bench_table1_akamai"
+  "bench_table1_akamai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_akamai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

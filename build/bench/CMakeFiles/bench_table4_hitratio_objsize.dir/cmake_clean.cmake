@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hitratio_objsize.dir/bench_table4_hitratio_objsize.cpp.o"
+  "CMakeFiles/bench_table4_hitratio_objsize.dir/bench_table4_hitratio_objsize.cpp.o.d"
+  "bench_table4_hitratio_objsize"
+  "bench_table4_hitratio_objsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hitratio_objsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

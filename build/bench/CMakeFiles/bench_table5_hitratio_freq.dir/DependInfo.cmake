@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_hitratio_freq.cpp" "bench/CMakeFiles/bench_table5_hitratio_freq.dir/bench_table5_hitratio_freq.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_hitratio_freq.dir/bench_table5_hitratio_freq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

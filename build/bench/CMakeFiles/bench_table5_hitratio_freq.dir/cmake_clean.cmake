@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hitratio_freq.dir/bench_table5_hitratio_freq.cpp.o"
+  "CMakeFiles/bench_table5_hitratio_freq.dir/bench_table5_hitratio_freq.cpp.o.d"
+  "bench_table5_hitratio_freq"
+  "bench_table5_hitratio_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hitratio_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_hitratio_appcount.dir/bench_table6_hitratio_appcount.cpp.o"
+  "CMakeFiles/bench_table6_hitratio_appcount.dir/bench_table6_hitratio_appcount.cpp.o.d"
+  "bench_table6_hitratio_appcount"
+  "bench_table6_hitratio_appcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hitratio_appcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

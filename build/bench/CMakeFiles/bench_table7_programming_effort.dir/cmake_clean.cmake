@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_programming_effort.dir/bench_table7_programming_effort.cpp.o"
+  "CMakeFiles/bench_table7_programming_effort.dir/bench_table7_programming_effort.cpp.o.d"
+  "bench_table7_programming_effort"
+  "bench_table7_programming_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_programming_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

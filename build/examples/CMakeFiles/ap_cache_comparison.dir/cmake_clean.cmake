@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_cache_comparison.dir/ap_cache_comparison.cpp.o"
+  "CMakeFiles/ap_cache_comparison.dir/ap_cache_comparison.cpp.o.d"
+  "ap_cache_comparison"
+  "ap_cache_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_cache_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

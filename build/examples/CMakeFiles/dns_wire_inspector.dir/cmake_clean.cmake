@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_wire_inspector.dir/dns_wire_inspector.cpp.o"
+  "CMakeFiles/dns_wire_inspector.dir/dns_wire_inspector.cpp.o.d"
+  "dns_wire_inspector"
+  "dns_wire_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_wire_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

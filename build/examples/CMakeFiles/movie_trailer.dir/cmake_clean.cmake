@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_trailer.dir/movie_trailer.cpp.o"
+  "CMakeFiles/movie_trailer.dir/movie_trailer.cpp.o.d"
+  "movie_trailer"
+  "movie_trailer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_trailer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

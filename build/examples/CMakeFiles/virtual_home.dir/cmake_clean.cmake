@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_home.dir/virtual_home.cpp.o"
+  "CMakeFiles/virtual_home.dir/virtual_home.cpp.o.d"
+  "virtual_home"
+  "virtual_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ape_lru_system.cpp" "src/CMakeFiles/ape_baselines.dir/baselines/ape_lru_system.cpp.o" "gcc" "src/CMakeFiles/ape_baselines.dir/baselines/ape_lru_system.cpp.o.d"
+  "/root/repo/src/baselines/edge_cache_system.cpp" "src/CMakeFiles/ape_baselines.dir/baselines/edge_cache_system.cpp.o" "gcc" "src/CMakeFiles/ape_baselines.dir/baselines/edge_cache_system.cpp.o.d"
+  "/root/repo/src/baselines/wicache_controller.cpp" "src/CMakeFiles/ape_baselines.dir/baselines/wicache_controller.cpp.o" "gcc" "src/CMakeFiles/ape_baselines.dir/baselines/wicache_controller.cpp.o.d"
+  "/root/repo/src/baselines/wicache_system.cpp" "src/CMakeFiles/ape_baselines.dir/baselines/wicache_system.cpp.o" "gcc" "src/CMakeFiles/ape_baselines.dir/baselines/wicache_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

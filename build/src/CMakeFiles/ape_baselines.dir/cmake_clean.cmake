@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_baselines.dir/baselines/ape_lru_system.cpp.o"
+  "CMakeFiles/ape_baselines.dir/baselines/ape_lru_system.cpp.o.d"
+  "CMakeFiles/ape_baselines.dir/baselines/edge_cache_system.cpp.o"
+  "CMakeFiles/ape_baselines.dir/baselines/edge_cache_system.cpp.o.d"
+  "CMakeFiles/ape_baselines.dir/baselines/wicache_controller.cpp.o"
+  "CMakeFiles/ape_baselines.dir/baselines/wicache_controller.cpp.o.d"
+  "CMakeFiles/ape_baselines.dir/baselines/wicache_system.cpp.o"
+  "CMakeFiles/ape_baselines.dir/baselines/wicache_system.cpp.o.d"
+  "libape_baselines.a"
+  "libape_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

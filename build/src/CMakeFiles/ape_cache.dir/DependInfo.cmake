@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_list.cpp" "src/CMakeFiles/ape_cache.dir/cache/block_list.cpp.o" "gcc" "src/CMakeFiles/ape_cache.dir/cache/block_list.cpp.o.d"
+  "/root/repo/src/cache/cache_stats.cpp" "src/CMakeFiles/ape_cache.dir/cache/cache_stats.cpp.o" "gcc" "src/CMakeFiles/ape_cache.dir/cache/cache_stats.cpp.o.d"
+  "/root/repo/src/cache/fifo_policy.cpp" "src/CMakeFiles/ape_cache.dir/cache/fifo_policy.cpp.o" "gcc" "src/CMakeFiles/ape_cache.dir/cache/fifo_policy.cpp.o.d"
+  "/root/repo/src/cache/gdsf_policy.cpp" "src/CMakeFiles/ape_cache.dir/cache/gdsf_policy.cpp.o" "gcc" "src/CMakeFiles/ape_cache.dir/cache/gdsf_policy.cpp.o.d"
+  "/root/repo/src/cache/lfu_policy.cpp" "src/CMakeFiles/ape_cache.dir/cache/lfu_policy.cpp.o" "gcc" "src/CMakeFiles/ape_cache.dir/cache/lfu_policy.cpp.o.d"
+  "/root/repo/src/cache/lru_policy.cpp" "src/CMakeFiles/ape_cache.dir/cache/lru_policy.cpp.o" "gcc" "src/CMakeFiles/ape_cache.dir/cache/lru_policy.cpp.o.d"
+  "/root/repo/src/cache/object_store.cpp" "src/CMakeFiles/ape_cache.dir/cache/object_store.cpp.o" "gcc" "src/CMakeFiles/ape_cache.dir/cache/object_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

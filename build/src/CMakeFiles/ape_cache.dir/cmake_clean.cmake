@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_cache.dir/cache/block_list.cpp.o"
+  "CMakeFiles/ape_cache.dir/cache/block_list.cpp.o.d"
+  "CMakeFiles/ape_cache.dir/cache/cache_stats.cpp.o"
+  "CMakeFiles/ape_cache.dir/cache/cache_stats.cpp.o.d"
+  "CMakeFiles/ape_cache.dir/cache/fifo_policy.cpp.o"
+  "CMakeFiles/ape_cache.dir/cache/fifo_policy.cpp.o.d"
+  "CMakeFiles/ape_cache.dir/cache/gdsf_policy.cpp.o"
+  "CMakeFiles/ape_cache.dir/cache/gdsf_policy.cpp.o.d"
+  "CMakeFiles/ape_cache.dir/cache/lfu_policy.cpp.o"
+  "CMakeFiles/ape_cache.dir/cache/lfu_policy.cpp.o.d"
+  "CMakeFiles/ape_cache.dir/cache/lru_policy.cpp.o"
+  "CMakeFiles/ape_cache.dir/cache/lru_policy.cpp.o.d"
+  "CMakeFiles/ape_cache.dir/cache/object_store.cpp.o"
+  "CMakeFiles/ape_cache.dir/cache/object_store.cpp.o.d"
+  "libape_cache.a"
+  "libape_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ap_runtime.cpp" "src/CMakeFiles/ape_core.dir/core/ap_runtime.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/ap_runtime.cpp.o.d"
+  "/root/repo/src/core/client_runtime.cpp" "src/CMakeFiles/ape_core.dir/core/client_runtime.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/client_runtime.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/ape_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/dns_cache_record.cpp" "src/CMakeFiles/ape_core.dir/core/dns_cache_record.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/dns_cache_record.cpp.o.d"
+  "/root/repo/src/core/frequency_tracker.cpp" "src/CMakeFiles/ape_core.dir/core/frequency_tracker.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/frequency_tracker.cpp.o.d"
+  "/root/repo/src/core/knapsack.cpp" "src/CMakeFiles/ape_core.dir/core/knapsack.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/knapsack.cpp.o.d"
+  "/root/repo/src/core/pacm.cpp" "src/CMakeFiles/ape_core.dir/core/pacm.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/pacm.cpp.o.d"
+  "/root/repo/src/core/pacm_policy.cpp" "src/CMakeFiles/ape_core.dir/core/pacm_policy.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/pacm_policy.cpp.o.d"
+  "/root/repo/src/core/programming_model.cpp" "src/CMakeFiles/ape_core.dir/core/programming_model.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/programming_model.cpp.o.d"
+  "/root/repo/src/core/url_hash.cpp" "src/CMakeFiles/ape_core.dir/core/url_hash.cpp.o" "gcc" "src/CMakeFiles/ape_core.dir/core/url_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

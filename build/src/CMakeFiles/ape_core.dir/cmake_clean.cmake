@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_core.dir/core/ap_runtime.cpp.o"
+  "CMakeFiles/ape_core.dir/core/ap_runtime.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/client_runtime.cpp.o"
+  "CMakeFiles/ape_core.dir/core/client_runtime.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/config.cpp.o"
+  "CMakeFiles/ape_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/dns_cache_record.cpp.o"
+  "CMakeFiles/ape_core.dir/core/dns_cache_record.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/frequency_tracker.cpp.o"
+  "CMakeFiles/ape_core.dir/core/frequency_tracker.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/knapsack.cpp.o"
+  "CMakeFiles/ape_core.dir/core/knapsack.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/pacm.cpp.o"
+  "CMakeFiles/ape_core.dir/core/pacm.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/pacm_policy.cpp.o"
+  "CMakeFiles/ape_core.dir/core/pacm_policy.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/programming_model.cpp.o"
+  "CMakeFiles/ape_core.dir/core/programming_model.cpp.o.d"
+  "CMakeFiles/ape_core.dir/core/url_hash.cpp.o"
+  "CMakeFiles/ape_core.dir/core/url_hash.cpp.o.d"
+  "libape_core.a"
+  "libape_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/adns.cpp" "src/CMakeFiles/ape_dns.dir/dns/adns.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/adns.cpp.o.d"
+  "/root/repo/src/dns/cdn_dns.cpp" "src/CMakeFiles/ape_dns.dir/dns/cdn_dns.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/cdn_dns.cpp.o.d"
+  "/root/repo/src/dns/codec.cpp" "src/CMakeFiles/ape_dns.dir/dns/codec.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/codec.cpp.o.d"
+  "/root/repo/src/dns/ldns.cpp" "src/CMakeFiles/ape_dns.dir/dns/ldns.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/ldns.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/CMakeFiles/ape_dns.dir/dns/name.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/name.cpp.o.d"
+  "/root/repo/src/dns/records.cpp" "src/CMakeFiles/ape_dns.dir/dns/records.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/records.cpp.o.d"
+  "/root/repo/src/dns/server.cpp" "src/CMakeFiles/ape_dns.dir/dns/server.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/server.cpp.o.d"
+  "/root/repo/src/dns/stub_resolver.cpp" "src/CMakeFiles/ape_dns.dir/dns/stub_resolver.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/stub_resolver.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/CMakeFiles/ape_dns.dir/dns/zone.cpp.o" "gcc" "src/CMakeFiles/ape_dns.dir/dns/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_dns.dir/dns/adns.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/adns.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/cdn_dns.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/cdn_dns.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/codec.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/codec.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/ldns.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/ldns.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/name.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/name.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/records.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/records.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/server.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/server.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/stub_resolver.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/stub_resolver.cpp.o.d"
+  "CMakeFiles/ape_dns.dir/dns/zone.cpp.o"
+  "CMakeFiles/ape_dns.dir/dns/zone.cpp.o.d"
+  "libape_dns.a"
+  "libape_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/edge_server.cpp" "src/CMakeFiles/ape_http.dir/http/edge_server.cpp.o" "gcc" "src/CMakeFiles/ape_http.dir/http/edge_server.cpp.o.d"
+  "/root/repo/src/http/endpoint.cpp" "src/CMakeFiles/ape_http.dir/http/endpoint.cpp.o" "gcc" "src/CMakeFiles/ape_http.dir/http/endpoint.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/CMakeFiles/ape_http.dir/http/message.cpp.o" "gcc" "src/CMakeFiles/ape_http.dir/http/message.cpp.o.d"
+  "/root/repo/src/http/origin_server.cpp" "src/CMakeFiles/ape_http.dir/http/origin_server.cpp.o" "gcc" "src/CMakeFiles/ape_http.dir/http/origin_server.cpp.o.d"
+  "/root/repo/src/http/url.cpp" "src/CMakeFiles/ape_http.dir/http/url.cpp.o" "gcc" "src/CMakeFiles/ape_http.dir/http/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_http.dir/http/edge_server.cpp.o"
+  "CMakeFiles/ape_http.dir/http/edge_server.cpp.o.d"
+  "CMakeFiles/ape_http.dir/http/endpoint.cpp.o"
+  "CMakeFiles/ape_http.dir/http/endpoint.cpp.o.d"
+  "CMakeFiles/ape_http.dir/http/message.cpp.o"
+  "CMakeFiles/ape_http.dir/http/message.cpp.o.d"
+  "CMakeFiles/ape_http.dir/http/origin_server.cpp.o"
+  "CMakeFiles/ape_http.dir/http/origin_server.cpp.o.d"
+  "CMakeFiles/ape_http.dir/http/url.cpp.o"
+  "CMakeFiles/ape_http.dir/http/url.cpp.o.d"
+  "libape_http.a"
+  "libape_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

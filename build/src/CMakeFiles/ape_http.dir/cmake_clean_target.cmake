@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libape_http.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/datagram.cpp" "src/CMakeFiles/ape_net.dir/net/datagram.cpp.o" "gcc" "src/CMakeFiles/ape_net.dir/net/datagram.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/ape_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/ape_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/ape_net.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/ape_net.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/ape_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/ape_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

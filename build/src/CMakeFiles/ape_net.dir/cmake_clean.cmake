@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_net.dir/net/datagram.cpp.o"
+  "CMakeFiles/ape_net.dir/net/datagram.cpp.o.d"
+  "CMakeFiles/ape_net.dir/net/network.cpp.o"
+  "CMakeFiles/ape_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/ape_net.dir/net/tcp.cpp.o"
+  "CMakeFiles/ape_net.dir/net/tcp.cpp.o.d"
+  "CMakeFiles/ape_net.dir/net/topology.cpp.o"
+  "CMakeFiles/ape_net.dir/net/topology.cpp.o.d"
+  "libape_net.a"
+  "libape_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_sim.dir/sim/resource_meter.cpp.o"
+  "CMakeFiles/ape_sim.dir/sim/resource_meter.cpp.o.d"
+  "CMakeFiles/ape_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/ape_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/ape_sim.dir/sim/service_queue.cpp.o"
+  "CMakeFiles/ape_sim.dir/sim/service_queue.cpp.o.d"
+  "CMakeFiles/ape_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/ape_sim.dir/sim/simulator.cpp.o.d"
+  "libape_sim.a"
+  "libape_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

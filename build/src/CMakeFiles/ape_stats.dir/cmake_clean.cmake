@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_stats.dir/stats/csv.cpp.o"
+  "CMakeFiles/ape_stats.dir/stats/csv.cpp.o.d"
+  "CMakeFiles/ape_stats.dir/stats/ewma.cpp.o"
+  "CMakeFiles/ape_stats.dir/stats/ewma.cpp.o.d"
+  "CMakeFiles/ape_stats.dir/stats/gini.cpp.o"
+  "CMakeFiles/ape_stats.dir/stats/gini.cpp.o.d"
+  "CMakeFiles/ape_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/ape_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/ape_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/ape_stats.dir/stats/summary.cpp.o.d"
+  "CMakeFiles/ape_stats.dir/stats/table.cpp.o"
+  "CMakeFiles/ape_stats.dir/stats/table.cpp.o.d"
+  "libape_stats.a"
+  "libape_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

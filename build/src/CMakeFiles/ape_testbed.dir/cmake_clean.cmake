@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_testbed.dir/testbed/app_driver.cpp.o"
+  "CMakeFiles/ape_testbed.dir/testbed/app_driver.cpp.o.d"
+  "CMakeFiles/ape_testbed.dir/testbed/experiment.cpp.o"
+  "CMakeFiles/ape_testbed.dir/testbed/experiment.cpp.o.d"
+  "CMakeFiles/ape_testbed.dir/testbed/testbed.cpp.o"
+  "CMakeFiles/ape_testbed.dir/testbed/testbed.cpp.o.d"
+  "CMakeFiles/ape_testbed.dir/testbed/wan.cpp.o"
+  "CMakeFiles/ape_testbed.dir/testbed/wan.cpp.o.d"
+  "libape_testbed.a"
+  "libape_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_generator.cpp" "src/CMakeFiles/ape_workload.dir/workload/app_generator.cpp.o" "gcc" "src/CMakeFiles/ape_workload.dir/workload/app_generator.cpp.o.d"
+  "/root/repo/src/workload/app_model.cpp" "src/CMakeFiles/ape_workload.dir/workload/app_model.cpp.o" "gcc" "src/CMakeFiles/ape_workload.dir/workload/app_model.cpp.o.d"
+  "/root/repo/src/workload/arrivals.cpp" "src/CMakeFiles/ape_workload.dir/workload/arrivals.cpp.o" "gcc" "src/CMakeFiles/ape_workload.dir/workload/arrivals.cpp.o.d"
+  "/root/repo/src/workload/critical_path.cpp" "src/CMakeFiles/ape_workload.dir/workload/critical_path.cpp.o" "gcc" "src/CMakeFiles/ape_workload.dir/workload/critical_path.cpp.o.d"
+  "/root/repo/src/workload/real_apps.cpp" "src/CMakeFiles/ape_workload.dir/workload/real_apps.cpp.o" "gcc" "src/CMakeFiles/ape_workload.dir/workload/real_apps.cpp.o.d"
+  "/root/repo/src/workload/traffic_trace.cpp" "src/CMakeFiles/ape_workload.dir/workload/traffic_trace.cpp.o" "gcc" "src/CMakeFiles/ape_workload.dir/workload/traffic_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ape_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ape_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ape_workload.dir/workload/app_generator.cpp.o"
+  "CMakeFiles/ape_workload.dir/workload/app_generator.cpp.o.d"
+  "CMakeFiles/ape_workload.dir/workload/app_model.cpp.o"
+  "CMakeFiles/ape_workload.dir/workload/app_model.cpp.o.d"
+  "CMakeFiles/ape_workload.dir/workload/arrivals.cpp.o"
+  "CMakeFiles/ape_workload.dir/workload/arrivals.cpp.o.d"
+  "CMakeFiles/ape_workload.dir/workload/critical_path.cpp.o"
+  "CMakeFiles/ape_workload.dir/workload/critical_path.cpp.o.d"
+  "CMakeFiles/ape_workload.dir/workload/real_apps.cpp.o"
+  "CMakeFiles/ape_workload.dir/workload/real_apps.cpp.o.d"
+  "CMakeFiles/ape_workload.dir/workload/traffic_trace.cpp.o"
+  "CMakeFiles/ape_workload.dir/workload/traffic_trace.cpp.o.d"
+  "libape_workload.a"
+  "libape_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ape_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ap_runtime.dir/test_ap_runtime.cpp.o"
+  "CMakeFiles/test_ap_runtime.dir/test_ap_runtime.cpp.o.d"
+  "test_ap_runtime"
+  "test_ap_runtime.pdb"
+  "test_ap_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ap_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

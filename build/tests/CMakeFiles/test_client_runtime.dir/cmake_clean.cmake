@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_client_runtime.dir/test_client_runtime.cpp.o"
+  "CMakeFiles/test_client_runtime.dir/test_client_runtime.cpp.o.d"
+  "test_client_runtime"
+  "test_client_runtime.pdb"
+  "test_client_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_client_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

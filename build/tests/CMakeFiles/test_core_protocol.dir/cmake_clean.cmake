@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_protocol.dir/test_core_protocol.cpp.o"
+  "CMakeFiles/test_core_protocol.dir/test_core_protocol.cpp.o.d"
+  "test_core_protocol"
+  "test_core_protocol.pdb"
+  "test_core_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_codec.dir/test_dns_codec.cpp.o"
+  "CMakeFiles/test_dns_codec.dir/test_dns_codec.cpp.o.d"
+  "test_dns_codec"
+  "test_dns_codec.pdb"
+  "test_dns_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

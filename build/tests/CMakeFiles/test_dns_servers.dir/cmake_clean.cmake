@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_servers.dir/test_dns_servers.cpp.o"
+  "CMakeFiles/test_dns_servers.dir/test_dns_servers.cpp.o.d"
+  "test_dns_servers"
+  "test_dns_servers.pdb"
+  "test_dns_servers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pacm.dir/test_pacm.cpp.o"
+  "CMakeFiles/test_pacm.dir/test_pacm.cpp.o.d"
+  "test_pacm"
+  "test_pacm.pdb"
+  "test_pacm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pacm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
