@@ -49,7 +49,8 @@ std::vector<workload::AppSpec> short_ttl_workload() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "ablation_pacm");
   bench::print_header("Ablation — PACM design choices and cache policies",
                       "extension study (no direct paper counterpart; see DESIGN.md)");
 
@@ -108,10 +109,17 @@ int main() {
   }
   table.print(std::cout);
 
+  for (const auto& row : rows) {
+    reporter.gauge(row.name + ".latency_ms", row.latency_ms);
+    reporter.gauge(row.name + ".p95_ms", row.p95_ms);
+    reporter.gauge(row.name + ".hit_ratio", row.hit);
+    reporter.gauge(row.name + ".high_hit_ratio", row.high_hit);
+  }
+
   bench::print_note(
       "Reading guide: the priority term is what protects critical-path objects (compare "
       "full vs w/o-priority and vs the priority-blind classics); the exact DP matters at "
       "the margin vs greedy; fairness trades a little utility for per-app equity; "
       "revalidation recovers expired entries without WAN body transfers.");
-  return 0;
+  return reporter.finish();
 }

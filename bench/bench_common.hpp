@@ -1,19 +1,92 @@
 // Shared scaffolding for the experiment benches: the paper's default
-// workload (2 real apps + 28 synthetic, Sec. V-A), run configs, and table
-// rendering with paper-reference columns for EXPERIMENTS.md.
+// workload (2 real apps + 28 synthetic, Sec. V-A), run configs, table
+// rendering with paper-reference columns for EXPERIMENTS.md, and the
+// machine-readable snapshot every bench emits behind `--json <path>`.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "stats/table.hpp"
 #include "testbed/experiment.hpp"
 #include "workload/app_generator.hpp"
 #include "workload/real_apps.hpp"
 
 namespace ape::bench {
+
+// Every bench binary owns one reporter: it parses `--json <path>` (and
+// `--csv <path>`), accumulates the bench's headline numbers plus the full
+// per-system registries, and dumps an "ape.obs.v1" snapshot on finish().
+// This is what turns the human-oriented tables into a perf trajectory CI
+// can diff (scripts/check_bench_regression.py).
+class BenchReporter {
+ public:
+  BenchReporter(int argc, char** argv, std::string bench_name)
+      : name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg == "--csv" && i + 1 < argc) {
+        csv_path_ = argv[++i];
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: %s [--json <path>] [--csv <path>]\n", name_.c_str());
+        std::exit(0);
+      }
+    }
+  }
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+
+  void gauge(const std::string& name, double value) { registry_.gauge(name).set(value); }
+  void counter(const std::string& name, std::uint64_t value) {
+    registry_.counter(name).set(value);
+  }
+
+  // Folds a run's full metrics snapshot in under `prefix.` — lining up
+  // APE-CACHE / LRU / Wi-Cache / edge-only runs inside one file.
+  void merge_run(const testbed::SystemRunResult& result, const std::string& prefix) {
+    registry_.merge(result.metrics, prefix + ".");
+  }
+
+  // Writes the snapshot(s) when requested; returns the bench's exit code.
+  [[nodiscard]] int finish() {
+    obs::ExportOptions options;
+    options.meta["bench"] = name_;
+    int rc = 0;
+    if (!json_path_.empty()) {
+      if (obs::write_json_file(json_path_, registry_, nullptr, options)) {
+        std::printf("json snapshot: %s\n", json_path_.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", json_path_.c_str());
+        rc = 1;
+      }
+    }
+    if (!csv_path_.empty()) {
+      std::ofstream csv(csv_path_);
+      if (csv) {
+        obs::write_csv(csv, registry_);
+        std::printf("csv snapshot: %s\n", csv_path_.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", csv_path_.c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  std::string csv_path_;
+  obs::MetricsRegistry registry_;
+};
 
 inline constexpr std::uint64_t kSeed = 20240704;
 

@@ -37,7 +37,7 @@ SystemPoint measure(testbed::System system, double freq) {
   return point;
 }
 
-void fig11b() {
+void fig11b(bench::BenchReporter& reporter) {
   std::printf("--- Fig. 11b: lookup latency overhead decomposition ---\n");
   testbed::TestbedParams params;
   params.system = testbed::System::ApeCache;
@@ -142,11 +142,16 @@ void fig11b() {
   std::printf("piggybacking saves %.2f ms vs standalone; DNS-Cache costs %.2f ms over a "
               "plain AP-cached DNS answer\n\n",
               standalone.mean() - dns_cache, dns_cache - regular_hit);
+  reporter.gauge("fig11b.dns_cache_ms", dns_cache);
+  reporter.gauge("fig11b.regular_hit_ms", regular_hit);
+  reporter.gauge("fig11b.regular_miss_ms", regular_miss);
+  reporter.gauge("fig11b.standalone_ms", standalone.mean());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "fig11_object_latency");
   bench::print_header("Fig. 11 — Object-Level Caching Latency",
                       "paper Fig. 11a/11b/11c (Sec. V-B)");
 
@@ -157,6 +162,17 @@ int main() {
   std::vector<std::vector<SystemPoint>> grid(systems.size());
   for (std::size_t s = 0; s < systems.size(); ++s) {
     for (double f : freqs) grid[s].push_back(measure(systems[s], f));
+  }
+
+  const std::vector<std::string> sys_names{"ape", "wicache", "edge"};
+  for (std::size_t s = 0; s < systems.size(); ++s) {
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      const std::string key =
+          sys_names[s] + ".freq" + stats::Table::num(freqs[i], 1);
+      reporter.gauge(key + ".lookup_ms", grid[s][i].lookup_ms);
+      reporter.gauge(key + ".retrieval_ms", grid[s][i].retrieval_ms);
+      reporter.gauge(key + ".total_ms", grid[s][i].total_ms);
+    }
   }
 
   std::printf("--- Fig. 11a: cache lookup latency (ms) vs usage frequency ---\n");
@@ -170,7 +186,7 @@ int main() {
   lookup.print(std::cout);
   std::printf("paper: APE ~7.5 ms flat; Wi-Cache and Edge Cache exceed 22 ms\n\n");
 
-  fig11b();
+  fig11b(reporter);
 
   std::printf("--- Fig. 11c: cache retrieval latency (ms) vs usage frequency ---\n");
   stats::Table retrieval;
@@ -196,5 +212,5 @@ int main() {
   std::printf("reduction vs Wi-Cache: %.1f%% (paper 51.7%%); vs Edge Cache: %.1f%% "
               "(paper 74.5%%)\n",
               vs_wicache * 100.0, vs_edge * 100.0);
-  return 0;
+  return reporter.finish();
 }

@@ -5,7 +5,8 @@
 
 using namespace ape;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "fig12_realworld_apps");
   bench::print_header("Fig. 12 — Real-world apps' Latency Performance",
                       "paper Fig. 12 (Sec. V-D)");
 
@@ -34,11 +35,15 @@ int main() {
       }
       table.row({to_string(system), stats::Table::num(avg, 1), stats::Table::num(p95, 1),
                  std::to_string(result.app_runs)});
+      const std::string key = app.name + "." + to_string(system);
+      reporter.gauge(key + ".avg_ms", avg);
+      reporter.gauge(key + ".p95_ms", p95);
+      reporter.counter(key + ".runs", result.app_runs);
     }
     table.print(std::cout);
     std::printf("APE-CACHE vs Edge Cache: avg -%.0f%%, p95 -%.0f%%  "
                 "(paper: ~-78%% avg, ~-76%% tail)\n\n",
                 (1.0 - ape_avg / edge_avg) * 100.0, (1.0 - ape_p95 / edge_p95) * 100.0);
   }
-  return 0;
+  return reporter.finish();
 }

@@ -41,7 +41,8 @@ void sweep(const std::string& title, const std::string& expectation,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "fig13_applevel_latency");
   bench::print_header("Fig. 13 — Average App-Level Latency Under Various Settings",
                       "paper Fig. 13a/13b/13c (Sec. V-D)");
 
@@ -74,8 +75,12 @@ int main() {
   const double edge = run_point(testbed::System::EdgeCache, 30, 100, 3.0);
   std::printf("default setting: APE %.1f / APE-LRU %.1f / Wi-Cache %.1f / Edge %.1f ms\n",
               ape, lru, wic, edge);
+  reporter.gauge("default.ape_ms", ape);
+  reporter.gauge("default.ape_lru_ms", lru);
+  reporter.gauge("default.wicache_ms", wic);
+  reporter.gauge("default.edge_ms", edge);
   std::printf("reductions: vs APE-LRU %.0f%% (paper 29%%), vs Wi-Cache %.0f%% (paper 44%%), "
               "vs Edge %.0f%% (paper 76%%)\n",
               (1 - ape / lru) * 100, (1 - ape / wic) * 100, (1 - ape / edge) * 100);
-  return 0;
+  return reporter.finish();
 }

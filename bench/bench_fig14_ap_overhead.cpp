@@ -32,7 +32,8 @@ Overhead run(testbed::System system) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "fig14_ap_overhead");
   bench::print_header("Fig. 14 — CPU/Memory Usage on the WiFi AP",
                       "paper Fig. 14 (Sec. V-E overhead study)");
 
@@ -49,6 +50,16 @@ int main() {
              stats::Table::num(ape.peak_mem, 1)});
   table.print(std::cout);
 
+  for (const auto& [label, o] :
+       {std::pair{std::string("regular"), regular}, {std::string("ape"), ape}}) {
+    reporter.gauge(label + ".cpu_mean_pct", o.mean_cpu * 100.0);
+    reporter.gauge(label + ".cpu_peak_pct", o.peak_cpu * 100.0);
+    reporter.gauge(label + ".mem_mean_mb", o.mean_mem);
+    reporter.gauge(label + ".mem_peak_mb", o.peak_mem);
+  }
+  reporter.gauge("overhead.cpu_peak_pct", (ape.peak_cpu - regular.peak_cpu) * 100.0);
+  reporter.gauge("overhead.mem_peak_mb", ape.peak_mem - regular.peak_mem);
+
   std::printf("\noverhead: +%.2f%% CPU (paper: up to +6%%), +%.1f MB memory "
               "(paper: up to +13 MB)\n",
               (ape.peak_cpu - regular.peak_cpu) * 100.0, ape.peak_mem - regular.peak_mem);
@@ -56,5 +67,5 @@ int main() {
       "The APE configuration spends CPU on DNS-Cache queries, HTTP cache serving and PACM, "
       "but saves pass-through forwarding for every AP-served object; memory adds the 5 MB "
       "object cache, the URL index and the runtime footprint.");
-  return 0;
+  return reporter.finish();
 }

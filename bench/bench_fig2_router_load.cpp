@@ -9,7 +9,7 @@
 
 namespace {
 
-void replay(const ape::workload::TraceSpec& spec) {
+void replay(const ape::workload::TraceSpec& spec, ape::bench::BenchReporter& reporter) {
   using namespace ape;
 
   testbed::TestbedParams params;
@@ -37,20 +37,26 @@ void replay(const ape::workload::TraceSpec& spec) {
   std::printf("mean CPU %.1f%%  peak CPU %.1f%%  mean mem %.1f MB  peak mem %.1f MB\n\n",
               meter.mean_cpu() * 100.0, meter.peak_cpu() * 100.0, meter.mean_memory_mb(),
               meter.peak_memory_mb());
+  reporter.gauge(spec.name + ".cpu_mean_pct", meter.mean_cpu() * 100.0);
+  reporter.gauge(spec.name + ".cpu_peak_pct", meter.peak_cpu() * 100.0);
+  reporter.gauge(spec.name + ".mem_mean_mb", meter.mean_memory_mb());
+  reporter.gauge(spec.name + ".mem_peak_mb", meter.peak_memory_mb());
+  reporter.counter(spec.name + ".packets", packets.size());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ape;
+  bench::BenchReporter reporter(argc, argv, "fig2_router_load");
   bench::print_header("Fig. 2 — CPU/Memory Usage of WiFi Router under traffic replay",
                       "paper Fig. 2 (Sec. II-C feasibility study)");
 
-  replay(workload::low_rate_trace());
-  replay(workload::high_rate_trace());
+  replay(workload::low_rate_trace(), reporter);
+  replay(workload::high_rate_trace(), reporter);
 
   bench::print_note(
       "Paper findings to match: memory hovers near ~120 MB under high traffic, CPU stays "
       "well below 50%, leaving headroom for AP-side caching.");
-  return 0;
+  return reporter.finish();
 }

@@ -14,8 +14,13 @@ struct HitRatioRow {
   double lru_high = 0.0;
 };
 
+// `reporter` + `label` (optional) record the point: headline gauges
+// `<label>.pacm_avg` / `.pacm_high` / `.lru_avg` / `.lru_high`, plus both
+// systems' full registries under `<label>.pacm.*` and `<label>.lru.*`.
 inline HitRatioRow hit_ratio_point(std::size_t app_count, std::size_t max_object_kb,
-                                   double freq_per_min, double duration_minutes = 60.0) {
+                                   double freq_per_min, double duration_minutes = 60.0,
+                                   BenchReporter* reporter = nullptr,
+                                   const std::string& label = "") {
   const auto apps = paper_workload(app_count, max_object_kb);
   const auto config = paper_config(freq_per_min, duration_minutes);
 
@@ -28,6 +33,15 @@ inline HitRatioRow hit_ratio_point(std::size_t app_count, std::size_t max_object
   row.pacm_high = pacm.high_priority_hit_ratio();
   row.lru_avg = lru.hit_ratio();
   row.lru_high = lru.high_priority_hit_ratio();
+
+  if (reporter != nullptr && !label.empty()) {
+    reporter->gauge(label + ".pacm_avg", row.pacm_avg);
+    reporter->gauge(label + ".pacm_high", row.pacm_high);
+    reporter->gauge(label + ".lru_avg", row.lru_avg);
+    reporter->gauge(label + ".lru_high", row.lru_high);
+    reporter->merge_run(pacm, label + ".pacm");
+    reporter->merge_run(lru, label + ".lru");
+  }
   return row;
 }
 

@@ -2,6 +2,8 @@
 // the per-request cache work on the AP's hot path.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
+
 #include "cache/fifo_policy.hpp"
 #include "cache/lfu_policy.hpp"
 #include "cache/lru_policy.hpp"
@@ -83,4 +85,4 @@ BENCHMARK(BM_HitLookup);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+APE_MICRO_BENCH_MAIN("micro_cache")

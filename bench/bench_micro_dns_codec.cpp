@@ -3,6 +3,8 @@
 // replacement performs on every lookup.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
+
 #include "core/dns_cache_record.hpp"
 #include "core/url_hash.hpp"
 #include "dns/codec.hpp"
@@ -95,4 +97,4 @@ BENCHMARK(BM_CacheRdataRoundTrip)->Arg(1)->Arg(8)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+APE_MICRO_BENCH_MAIN("micro_dns_codec")

@@ -3,6 +3,8 @@
 // (a 5 MB cache holds on the order of 100-1000 objects).
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
+
 #include "core/pacm.hpp"
 #include "sim/rng.hpp"
 
@@ -101,4 +103,4 @@ BENCHMARK(BM_FairnessGini)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+APE_MICRO_BENCH_MAIN("micro_pacm")

@@ -1,0 +1,47 @@
+// CI smoke bench: a small, fully deterministic workload whose `--json`
+// snapshot is committed as bench/baselines/smoke.json and diffed by
+// scripts/check_bench_regression.py on every pull request.  Runtime is a
+// few seconds — small enough for CI, large enough that hit ratios, latency
+// percentiles and simulator event counts are meaningful.
+#include "bench_common.hpp"
+
+using namespace ape;
+
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "smoke");
+  bench::print_header("Smoke — deterministic CI regression workload",
+                      "no paper counterpart; guards the perf trajectory in CI");
+
+  const auto apps = bench::paper_workload(/*app_count=*/10, /*max_object_kb=*/100);
+  const auto config = bench::paper_config(/*freq_per_min=*/3.0, /*duration_minutes=*/10.0);
+
+  const std::vector<std::pair<std::string, testbed::System>> systems{
+      {"ape", testbed::System::ApeCache},
+      {"lru", testbed::System::ApeCacheLru},
+      {"edge", testbed::System::EdgeCache},
+  };
+
+  stats::Table table;
+  table.header({"System", "hit ratio", "p50 ms", "p99 ms", "runs"});
+  for (const auto& [label, system] : systems) {
+    const auto result =
+        testbed::run_system(system, testbed::TestbedParams{}, apps, config);
+    const double p50 = result.app_latency_ms.percentile(0.50);
+    const double p99 = result.app_latency_ms.percentile(0.99);
+    table.row({to_string(system), stats::Table::num(result.hit_ratio(), 3),
+               stats::Table::num(p50, 2), stats::Table::num(p99, 2),
+               std::to_string(result.app_runs)});
+
+    reporter.gauge(label + ".hit_ratio", result.hit_ratio());
+    reporter.gauge(label + ".latency_p50_ms", p50);
+    reporter.gauge(label + ".latency_p99_ms", p99);
+    reporter.merge_run(result, label);
+  }
+  table.print(std::cout);
+
+  bench::print_note(
+      "Two runs with the same seed must produce byte-identical snapshots; "
+      "compare against bench/baselines/smoke.json with "
+      "scripts/check_bench_regression.py.");
+  return reporter.finish();
+}

@@ -5,8 +5,9 @@
 #include "bench_common.hpp"
 #include "workload/traffic_trace.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ape;
+  bench::BenchReporter reporter(argc, argv, "table2_traffic");
   bench::print_header("Table II — Statistics of Public WiFi Traffic Datasets",
                       "paper Table II (Tcpreplay sample captures)");
 
@@ -37,6 +38,14 @@ int main() {
   const auto low_sum = summarize(low);
   const auto high_sum = summarize(high);
 
+  for (const auto& [label, sum] :
+       {std::pair{std::string("low"), low_sum}, {std::string("high"), high_sum}}) {
+    reporter.counter(label + ".bytes", sum.bytes);
+    reporter.counter(label + ".packets", sum.packets);
+    reporter.counter(label + ".flows", sum.flows);
+    reporter.gauge(label + ".avg_packet_bytes", sum.avg);
+  }
+
   table.row({"Size (MB)", "9.4", stats::Table::num(low_sum.bytes / 1048576.0, 1), "368",
              stats::Table::num(high_sum.bytes / 1048576.0, 1)});
   table.row({"Packets", "14261", std::to_string(low_sum.packets), "791615",
@@ -54,5 +63,5 @@ int main() {
   bench::print_note(
       "Synthetic traces reproduce the published per-capture statistics; packet sizes are "
       "drawn bimodally (control vs near-MTU) so the byte totals track the capture averages.");
-  return 0;
+  return reporter.finish();
 }

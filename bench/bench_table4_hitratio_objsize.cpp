@@ -3,8 +3,9 @@
 // sizes swept from 1-100 kB up to 1-500 kB.
 #include "bench_hitratio_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ape;
+  bench::BenchReporter reporter(argc, argv, "table4_hitratio_objsize");
   bench::print_header("Table IV — Cache Hit Ratio vs. Data Object Size",
                       "paper Table IV (Sec. V-C, PACM vs LRU)");
 
@@ -21,7 +22,9 @@ int main() {
   table.header({"Object size", "PACM-Avg", "(paper)", "PACM-High", "(paper)", "LRU",
                 "(paper)"});
   for (const auto& [max_kb, paper] : sweeps) {
-    const auto row = bench::hit_ratio_point(/*apps=*/30, max_kb, /*freq=*/3.0);
+    const auto row = bench::hit_ratio_point(/*apps=*/30, max_kb, /*freq=*/3.0,
+                                            /*duration_minutes=*/60.0, &reporter,
+                                            "kb" + std::to_string(max_kb));
     table.row({"1~" + std::to_string(max_kb) + " kb", stats::Table::num(row.pacm_avg, 3),
                stats::Table::num(paper.avg, 3), stats::Table::num(row.pacm_high, 3),
                stats::Table::num(paper.high, 3), stats::Table::num(row.lru_avg, 3),
@@ -31,5 +34,5 @@ int main() {
   bench::print_note(
       "Expected shape: hit ratios fall as objects grow (fewer fit in 5 MB); PACM keeps a "
       "much higher hit ratio for high-priority objects while matching LRU on average.");
-  return 0;
+  return reporter.finish();
 }

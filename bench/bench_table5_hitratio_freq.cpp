@@ -3,8 +3,9 @@
 // 1..3 runs/minute.
 #include "bench_hitratio_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ape;
+  bench::BenchReporter reporter(argc, argv, "table5_hitratio_freq");
   bench::print_header("Table V — Cache Hit Ratio vs. Avg. App Usage Frequency",
                       "paper Table V (Sec. V-C, PACM vs LRU)");
 
@@ -21,7 +22,9 @@ int main() {
   table.header({"Avg. frequency", "PACM-Avg", "(paper)", "PACM-High", "(paper)", "LRU",
                 "(paper)"});
   for (const auto& [freq, paper] : sweeps) {
-    const auto row = bench::hit_ratio_point(/*apps=*/30, /*max_kb=*/100, freq);
+    const auto row = bench::hit_ratio_point(/*apps=*/30, /*max_kb=*/100, freq,
+                                            /*duration_minutes=*/60.0, &reporter,
+                                            "freq" + stats::Table::num(freq, 1));
     table.row({stats::Table::num(freq, 1), stats::Table::num(row.pacm_avg, 3),
                stats::Table::num(paper.avg, 3), stats::Table::num(row.pacm_high, 3),
                stats::Table::num(paper.high, 3), stats::Table::num(row.lru_avg, 3),
@@ -31,5 +34,5 @@ int main() {
   bench::print_note(
       "Expected shape: lower frequency lets objects expire between uses, mildly lowering "
       "hit ratios; PACM-High stays well above LRU across the sweep.");
-  return 0;
+  return reporter.finish();
 }

@@ -3,8 +3,9 @@
 // swept 5..30.
 #include "bench_hitratio_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ape;
+  bench::BenchReporter reporter(argc, argv, "table6_hitratio_appcount");
   bench::print_header("Table VI — Cache Hit Ratio vs. App Quantity",
                       "paper Table VI (Sec. V-C, PACM vs LRU)");
 
@@ -21,7 +22,9 @@ int main() {
   table.header({"App quantity", "PACM-Avg", "(paper)", "PACM-High", "(paper)", "LRU",
                 "(paper)"});
   for (const auto& [apps, paper] : sweeps) {
-    const auto row = bench::hit_ratio_point(apps, /*max_kb=*/100, /*freq=*/3.0);
+    const auto row = bench::hit_ratio_point(apps, /*max_kb=*/100, /*freq=*/3.0,
+                                            /*duration_minutes=*/60.0, &reporter,
+                                            "apps" + std::to_string(apps));
     table.row({std::to_string(apps), stats::Table::num(row.pacm_avg, 3),
                stats::Table::num(paper.avg, 3), stats::Table::num(row.pacm_high, 3),
                stats::Table::num(paper.high, 3), stats::Table::num(row.lru_avg, 3),
@@ -32,5 +35,5 @@ int main() {
       "Expected shape: small app sets fit entirely in 5 MB (hit ratios near the TTL-bound "
       "ceiling); beyond ~15 apps eviction pressure sets in and PACM protects high-priority "
       "objects while LRU degrades uniformly.");
-  return 0;
+  return reporter.finish();
 }

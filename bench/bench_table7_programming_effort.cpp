@@ -11,7 +11,8 @@
 
 using namespace ape;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "table7_programming_effort");
   bench::print_header("Table VII — Programming Efforts Comparison",
                       "paper Table VII (Sec. V-F)");
 
@@ -39,6 +40,8 @@ int main() {
                std::to_string(c.paper_annotation_locs), "No"});
     table.row({c.spec.name, "API-based", std::to_string(effort.api_locs),
                std::to_string(c.paper_api_locs), "Yes"});
+    reporter.counter(c.spec.name + ".annotation_locs", effort.annotation_locs);
+    reporter.counter(c.spec.name + ".api_locs", effort.api_locs);
   }
   table.print(std::cout);
 
@@ -47,5 +50,5 @@ int main() {
       "library); only the annotation model leaves the application logic untouched.  "
       "VirtualHome's two annotations match the paper exactly; MovieTrailer declares one "
       "annotation per cacheable field (5) vs the paper's 5 impacted lines.");
-  return 0;
+  return reporter.finish();
 }

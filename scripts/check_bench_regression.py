@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a bench --json snapshot against a committed baseline.
+
+Both files are "ape.obs.v1" snapshots (see src/obs/export.hpp).  The
+checker walks the stable sections (counters, gauges, histograms) and
+flags any watched metric that drifted more than the tolerance from the
+baseline.  The `volatile` section (wall-clock timings) is ignored unless
+--include-volatile is given.
+
+Watched metrics default to the regression-relevant families — hit
+ratios, latency percentiles, and simulator event counts — so incidental
+counters (bytes, per-app detail) don't turn every workload tweak into a
+CI failure.  Use --all to compare every metric instead.
+
+Usage:
+  build/bench/bench_smoke --json /tmp/smoke.json
+  scripts/check_bench_regression.py bench/baselines/smoke.json /tmp/smoke.json
+
+Exit codes: 0 ok, 1 regression(s) or unreadable/invalid snapshot,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA = "ape.obs.v1"
+
+# Metric families that gate CI (matched against the flattened name).
+DEFAULT_WATCH = r"(hit_ratio|p50|p99|events_fired)"
+
+# Histogram fields worth comparing (count is exact; the rest are values).
+HISTOGRAM_FIELDS = ("count", "mean", "p50", "p90", "p95", "p99", "min", "max")
+
+
+def flatten(snapshot: dict, include_volatile: bool) -> dict[str, float]:
+    """Flattens a snapshot into {metric_name: value}."""
+    flat: dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[name] = float(value)
+    for name, gauge in snapshot.get("gauges", {}).items():
+        flat[name] = float(gauge["value"])
+    for name, hist in snapshot.get("histograms", {}).items():
+        for field in HISTOGRAM_FIELDS:
+            if field in hist:
+                flat[f"{name}.{field}"] = float(hist[field])
+    if include_volatile:
+        vol = snapshot.get("volatile", {})
+        for name, gauge in vol.get("gauges", {}).items():
+            flat[name] = float(gauge["value"])
+        for name, hist in vol.get("histograms", {}).items():
+            for field in HISTOGRAM_FIELDS:
+                if field in hist:
+                    flat[f"{name}.{field}"] = float(hist[field])
+    return flat
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            snapshot = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if snapshot.get("schema") != SCHEMA:
+        sys.exit(f"error: {path}: expected schema {SCHEMA!r}, "
+                 f"got {snapshot.get('schema')!r}")
+    return snapshot
+
+
+def relative_drift(baseline: float, current: float) -> float:
+    if baseline == current:
+        return 0.0
+    if baseline == 0.0:
+        return float("inf")
+    return abs(current - baseline) / abs(baseline)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument("current", help="freshly produced snapshot")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative drift (default 0.10 = ±10%%)")
+    parser.add_argument("--watch", default=DEFAULT_WATCH,
+                        help="regex selecting metrics to gate on "
+                             f"(default {DEFAULT_WATCH!r})")
+    parser.add_argument("--all", action="store_true",
+                        help="gate on every metric, not just --watch matches")
+    parser.add_argument("--include-volatile", action="store_true",
+                        help="also compare the volatile (wall-clock) section")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every compared metric, not just failures")
+    args = parser.parse_args()
+
+    base = flatten(load(args.baseline), args.include_volatile)
+    cur = flatten(load(args.current), args.include_volatile)
+    watch = re.compile(args.watch)
+
+    watched = sorted(n for n in base if args.all or watch.search(n))
+    if not watched:
+        sys.exit(f"error: no metrics in {args.baseline} match {args.watch!r}")
+
+    failures = []
+    for name in watched:
+        if name not in cur:
+            failures.append((name, base[name], None, float("inf")))
+            continue
+        drift = relative_drift(base[name], cur[name])
+        status = "FAIL" if drift > args.tolerance else "ok"
+        if args.verbose or status == "FAIL":
+            drift_pct = "missing" if cur.get(name) is None else f"{drift * 100:.1f}%"
+            print(f"{status:4s} {name}: baseline={base[name]:g} "
+                  f"current={cur.get(name, 'missing')} drift={drift_pct}")
+        if status == "FAIL":
+            failures.append((name, base[name], cur.get(name), drift))
+
+    new_metrics = sorted(n for n in cur if n not in base
+                         and (args.all or watch.search(n)))
+    for name in new_metrics:
+        print(f"note: new metric (not in baseline): {name}={cur[name]:g}")
+
+    print(f"compared {len(watched)} metric(s), "
+          f"{len(failures)} regression(s), tolerance ±{args.tolerance * 100:.0f}%")
+    if failures:
+        print("regressions detected — if intentional, refresh the baseline with:")
+        print(f"  build/bench/bench_smoke --json {args.baseline}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #include "core/ap_runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
+#include <vector>
 
 #include "cache/fifo_policy.hpp"
 #include "cache/gdsf_policy.hpp"
@@ -19,9 +21,11 @@ constexpr net::Port kApUpstreamPort = 41053;  // AP's socket toward the LDNS
 std::unique_ptr<cache::EvictionPolicy> make_policy(ApRuntime::Policy policy,
                                                    const ApeConfig& config,
                                                    const sim::Simulator& clock,
-                                                   const FrequencyTracker& freq) {
+                                                   const FrequencyTracker& freq,
+                                                   obs::Observer* observer) {
   switch (policy) {
-    case ApRuntime::Policy::Pacm: return std::make_unique<PacmPolicy>(config, clock, freq);
+    case ApRuntime::Policy::Pacm:
+      return std::make_unique<PacmPolicy>(config, clock, freq, observer);
     case ApRuntime::Policy::Lru: return std::make_unique<cache::LruPolicy>();
     case ApRuntime::Policy::Fifo: return std::make_unique<cache::FifoPolicy>();
     case ApRuntime::Policy::Lfu: return std::make_unique<cache::LfuPolicy>();
@@ -41,10 +45,17 @@ ApRuntime::ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId 
       freq_(options_.config.alpha, options_.config.frequency_window),
       data_cache_(std::make_unique<cache::CacheStore>(
           options_.config.cache_capacity_bytes,
-          make_policy(options_.policy, options_.config, network.simulator(), freq_))),
+          make_policy(options_.policy, options_.config, network.simulator(), freq_,
+                      options_.observer))),
       block_list_(options_.config.block_threshold_bytes),
       upstream_(network, node, kApUpstreamPort),
-      edge_client_(tcp, node) {
+      edge_client_(tcp, node),
+      observer_(options_.observer) {
+  if (observer_ != nullptr) {
+    hit_counter_ = &observer_->metrics().counter("ap.cache.hit");
+    miss_counter_ = &observer_->metrics().counter("ap.cache.miss");
+    delegation_flag_counter_ = &observer_->metrics().counter("ap.cache.delegation");
+  }
   data_cache_->set_retain_expired(options_.config.enable_revalidation);
   dns_ = std::make_unique<Dns>(*this, network_, node_, cpu_, options_.config.dns_service_time);
 
@@ -56,6 +67,40 @@ ApRuntime::ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId 
                              http::HttpServer::Responder respond) {
     handle_http(req, std::move(respond));
   });
+}
+
+void ApRuntime::snapshot_metrics() {
+  if (observer_ == nullptr) return;
+  obs::MetricsRegistry& m = observer_->metrics();
+  const sim::Time now = network_.simulator().now();
+
+  m.gauge("ap.cache.used_bytes").set(static_cast<double>(data_cache_->used_bytes()));
+  m.gauge("ap.cache.capacity_bytes").set(static_cast<double>(data_cache_->capacity_bytes()));
+  m.gauge("ap.cache.entries").set(static_cast<double>(data_cache_->entry_count()));
+  m.counter("ap.cache.evictions").set(data_cache_->evictions());
+  m.counter("ap.cache.rejections").set(data_cache_->rejections());
+  m.gauge("ap.cache.hit_ratio").set(stats_.hit_ratio());
+  m.gauge("ap.cache.high_priority_hit_ratio").set(stats_.high_priority_hit_ratio());
+  m.counter("ap.block_list.size").set(block_list_.size());
+  m.gauge("ap.mem.bytes").set(static_cast<double>(memory_bytes()));
+  m.counter("ap.delegations").set(delegations_);
+  m.counter("ap.revalidations").set(revalidations_);
+
+  // Per-app storage efficiency C_a = cached bytes / R(a) — the fairness
+  // signal PACM's Gini constraint bounds (paper Sec. IV-C).
+  std::unordered_map<AppId, std::size_t> bytes_by_app;
+  data_cache_->for_each(
+      [&](const cache::CacheEntry& entry) { bytes_by_app[entry.app_id] += entry.size_bytes; });
+  std::vector<std::pair<AppId, std::size_t>> sorted(bytes_by_app.begin(), bytes_by_app.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [app, bytes] : sorted) {
+    const std::string prefix = "ap.app." + std::to_string(app);
+    m.gauge(prefix + ".storage_bytes").set(static_cast<double>(bytes));
+    const double freq = freq_.frequency(app, now);
+    if (freq > 0.0) {
+      m.gauge(prefix + ".efficiency_ca").set(static_cast<double>(bytes) / freq);
+    }
+  }
 }
 
 void ApRuntime::reset_cache() {
@@ -132,12 +177,18 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
 
   // Charge the marginal cache-lookup cost on top of the base DNS service
   // time already paid in DnsServer::on_datagram.
+  if (observer_ != nullptr) observer_->count("ap.dns.cache_queries");
   cpu_.submit(options_.config.cache_lookup_extra,
               [this, query, domain, requested = view.value().entries,
                respond = std::move(respond)]() mutable {
     const FlagSet flags = collect_flags(domain, requested);
     std::vector<dns::ResourceRecord> additionals;
     additionals.push_back(make_cache_response_rr(domain, flags.entries));
+    if (observer_ != nullptr) {
+      // One TYPE=300 RR per response, batching one flag per known URL.
+      observer_->count("ap.dns.cache_rr_emitted");
+      observer_->count("ap.dns.flags_emitted", flags.entries.size());
+    }
 
     if (!flags.needs_edge && !flags.entries.empty()) {
       // No URL under this domain requires the edge directly: Cache-Hits are
@@ -147,6 +198,13 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
       // the all-cached special case; extending it to delegations keeps the
       // lookup millisecond-level during cache warm-up as well — see
       // DESIGN.md.)  Block-listed URLs force a real answer.
+      if (observer_ != nullptr) {
+        observer_->count("dns.short_circuit");
+        observer_->count("dns.upstream_avoided");
+        observer_->event(network_.simulator().now(), "ap", "dns_short_circuit",
+                         domain.to_string(),
+                         "flags=" + std::to_string(flags.entries.size()));
+      }
       answer_with_ip(query, domain, net::kDummyIp, 0, std::move(additionals),
                      std::move(respond));
       return;
@@ -178,6 +236,7 @@ void ApRuntime::handle_regular_dns(const dns::DnsMessage& query,
     respond(dns::make_response_for(query, dns::Rcode::NotImp));
     return;
   }
+  if (observer_ != nullptr) observer_->count("ap.dns.regular_queries");
   const dns::DnsName name = query.questions.front().name;
   resolve_upstream(name, [this, query, name, respond = std::move(respond)](
                              Result<DnsCacheEntry> resolved) mutable {
@@ -197,12 +256,14 @@ void ApRuntime::resolve_upstream(const dns::DnsName& name,
   const sim::Time now = network_.simulator().now();
   if (auto it = dns_cache_.find(name); it != dns_cache_.end()) {
     if (it->second.expires > now) {
+      if (observer_ != nullptr) observer_->count("ap.dns.record_cache_hit");
       done(it->second);
       return;
     }
     dns_cache_.erase(it);
   }
 
+  if (observer_ != nullptr) observer_->count("ap.dns.upstream_queries");
   dns::DnsMessage q;
   q.header.rd = true;
   q.questions.push_back(dns::Question{name, dns::RrType::A, dns::RrClass::In});
@@ -265,9 +326,18 @@ ApRuntime::FlagSet ApRuntime::collect_flags(const dns::DnsName& domain,
       const auto info = url_index_.find(h);
       const int priority = info == url_index_.end() ? 1 : info->second.priority;
       switch (flag) {
-        case CacheFlag::CacheHit: stats_.record_hit(priority); break;
-        case CacheFlag::CacheMiss: stats_.record_miss(priority); break;
-        case CacheFlag::Delegation: stats_.record_delegation(priority); break;
+        case CacheFlag::CacheHit:
+          stats_.record_hit(priority);
+          if (hit_counter_ != nullptr) hit_counter_->add();
+          break;
+        case CacheFlag::CacheMiss:
+          stats_.record_miss(priority);
+          if (miss_counter_ != nullptr) miss_counter_->add();
+          break;
+        case CacheFlag::Delegation:
+          stats_.record_delegation(priority);
+          if (delegation_flag_counter_ != nullptr) delegation_flag_counter_->add();
+          break;
       }
     }
   }
@@ -279,6 +349,10 @@ ApRuntime::FlagSet ApRuntime::collect_flags(const dns::DnsName& domain,
 void ApRuntime::serve_from_cache(const cache::CacheEntry& entry,
                                  http::HttpServer::Responder respond) {
   account_served_bytes(entry.size_bytes);
+  if (observer_ != nullptr) {
+    observer_->count("ap.http.cache_serves");
+    observer_->count("ap.http.bytes_from_cache", entry.size_bytes);
+  }
   http::HttpResponse resp;
   resp.status = 200;
   resp.simulated_body_bytes = entry.size_bytes;
@@ -323,6 +397,10 @@ void ApRuntime::handle_http(const http::HttpRequest& request,
   if (!is_delegation) {
     // Plain cache fetch that raced an eviction/expiry: the client falls
     // back to the edge on 404.
+    if (observer_ != nullptr) {
+      observer_->count("ap.http.race_fallback");
+      observer_->event(now, "ap", "race_fallback", key);
+    }
     respond(http::make_status_response(404, "not in AP cache"));
     return;
   }
@@ -358,6 +436,10 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
 
   ++delegations_;
   const sim::Time fetch_start = network_.simulator().now();
+  if (observer_ != nullptr) {
+    observer_->count("ap.delegations");
+    observer_->event(fetch_start, "ap", "delegate", base);
+  }
 
   resolve_upstream(info.domain, [this, request, hash, ttl_seconds, priority, app, fetch_start,
                                  stale = std::move(stale), respond = std::move(respond)](
@@ -387,6 +469,10 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
             // Not modified: refresh the stale entry's lifetime and serve it
             // locally — no body crossed the WAN.
             ++revalidations_;
+            if (observer_ != nullptr) {
+              observer_->count("ap.revalidations");
+              observer_->event(now, "ap", "revalidate", key);
+            }
             cache::CacheEntry entry = std::move(*stale);
             std::uint32_t ttl = ttl_seconds;
             if (const auto* v =
@@ -417,6 +503,11 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
           if (block_list_.should_block(size)) {
             // Too large to ever cache: remember that and stop delegating.
             block_list_.block(key);
+            if (observer_ != nullptr) {
+              observer_->count("ap.block_listed");
+              observer_->event(now, "ap", "block_list", key,
+                               std::to_string(size) + " bytes");
+            }
           } else {
             cache::CacheEntry entry;
             entry.key = key;
@@ -429,6 +520,11 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
               entry.etag = *etag;
             }
             data_cache_->insert(std::move(entry), now);
+            if (observer_ != nullptr) {
+              observer_->count("ap.cache.inserts");
+              observer_->count("ap.delegation.bytes_fetched", size);
+              observer_->event(now, "ap", "admit", key, std::to_string(size) + " bytes");
+            }
           }
 
           // The pulled body crossed the WAN into the AP (kernel RX) and is

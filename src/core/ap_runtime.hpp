@@ -28,6 +28,7 @@
 #include "dns/server.hpp"
 #include "dns/stub_resolver.hpp"
 #include "http/endpoint.hpp"
+#include "obs/observer.hpp"
 
 namespace ape::core {
 
@@ -43,6 +44,9 @@ class ApRuntime {
     bool enable_ape = true;       // false = stock dnsmasq forwarder only
     Policy policy = Policy::Pacm;
     std::size_t cpu_cores = 2;    // MT7621A is dual-core
+    // Nullable observability sink ("ap.*" metrics, cache/DNS trace events);
+    // also forwarded into the PACM policy when `policy == Policy::Pacm`.
+    obs::Observer* observer = nullptr;
   };
 
   ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId node, Options options);
@@ -73,6 +77,12 @@ class ApRuntime {
 
   // Fully resets cache state between experiment runs.
   void reset_cache();
+
+  // Pull-phase observability: writes the gauges that only make sense as a
+  // point-in-time reading (cache occupancy, hit ratios, per-app storage
+  // efficiency C_a = cached bytes / R(a)) into the attached observer.
+  // No-op without one.
+  void snapshot_metrics();
 
  private:
   // ---- DNS side ----------------------------------------------------------
@@ -161,6 +171,13 @@ class ApRuntime {
   std::size_t flows_ = 0;
   std::size_t delegations_ = 0;
   std::size_t revalidations_ = 0;
+
+  // Hot-path instruments, resolved once at construction (null when
+  // unobserved).  Everything else goes through observer_ by name.
+  obs::Observer* observer_ = nullptr;
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+  obs::Counter* delegation_flag_counter_ = nullptr;
 };
 
 }  // namespace ape::core

@@ -47,6 +47,26 @@ dns::DnsMessage ClientRuntime::build_dns_cache_query(
 }
 
 void ClientRuntime::finish(FetchHandler& handler, FetchResult result) {
+  if (obs::Observer* obs = options_.observer; obs != nullptr) {
+    obs::MetricsRegistry& m = obs->metrics();
+    m.counter("client.fetches").add();
+    if (!result.success) {
+      m.counter("client.fetch.failures").add();
+    } else {
+      switch (result.source) {
+        case Source::ApCache: m.counter("client.fetch.ap_hit").add(); break;
+        case Source::ApDelegated: m.counter("client.fetch.ap_delegated").add(); break;
+        case Source::EdgeServer: m.counter("client.fetch.edge").add(); break;
+        case Source::Unknown: m.counter("client.fetch.unknown").add(); break;
+      }
+      if (result.lookup_from_cache) m.counter("client.lookup.flag_reuse").add();
+      m.counter("client.bytes_received").add(result.bytes);
+      m.histogram("client.lookup_ms", "ms").record(sim::to_millis(result.lookup_latency));
+      m.histogram("client.retrieval_ms", "ms")
+          .record(sim::to_millis(result.retrieval_latency));
+      m.histogram("client.total_ms", "ms").record(sim::to_millis(result.total));
+    }
+  }
   handler(std::move(result));
 }
 

@@ -28,6 +28,7 @@
 #include "core/url_hash.hpp"
 #include "dns/stub_resolver.hpp"
 #include "http/endpoint.hpp"
+#include "obs/observer.hpp"
 
 namespace ape::core {
 
@@ -53,6 +54,9 @@ class ClientRuntime {
     // measured lookup latency, and the reason the paper's lookup (~7.5 ms)
     // slightly exceeds one WiFi RTT.
     sim::Duration dns_cache_build_cost{sim::microseconds(2800)};
+    // Nullable observability sink ("client.*" fetch counters/latency
+    // histograms, keyed by source).
+    obs::Observer* observer = nullptr;
   };
 
   // `dns_port` must be unique per (node, runtime) pair.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <unordered_map>
 
+#include "obs/observer.hpp"
 #include "stats/gini.hpp"
 
 namespace ape::core {
@@ -45,11 +47,32 @@ double PacmSolver::fairness(const std::vector<PacmObject>& objects,
   return stats::gini(efficiency);
 }
 
+void PacmSolver::record_solve(const PacmDecision& decision, std::size_t candidates,
+                              double solve_us) const {
+  obs::MetricsRegistry& m = observer_->metrics();
+  m.counter("pacm.solves").add();
+  m.counter(decision.exact ? "pacm.exact" : "pacm.greedy").add();
+  m.counter("pacm.evictions").add(decision.evict.size());
+  if (!decision.fairness_satisfied) m.counter("pacm.fairness_unsatisfied").add();
+  m.histogram("pacm.repair_rounds", "rounds")
+      .record(static_cast<double>(decision.repair_rounds));
+  m.histogram("pacm.candidates", "objects").record(static_cast<double>(candidates));
+  m.histogram("pacm.kept_utility").record(decision.kept_utility);
+  m.histogram("pacm.fairness_gini").record(decision.fairness);
+  // Wall clock: host-dependent, hence volatile (excluded from stable
+  // snapshots so seeded runs stay byte-identical).
+  m.histogram("pacm.solve_us", "us", obs::Volatility::Volatile).record(solve_us);
+}
+
 PacmDecision PacmSolver::select_evictions(
     const std::vector<PacmObject>& cached, std::size_t incoming_size_bytes,
     const std::vector<std::pair<AppId, double>>& frequencies) const {
+  const auto wall_start = std::chrono::steady_clock::now();
   PacmDecision decision;
-  if (cached.empty()) return decision;
+  if (cached.empty()) {
+    if (observer_ != nullptr) record_solve(decision, 0, 0.0);
+    return decision;
+  }
 
   const std::size_t capacity =
       config_.cache_capacity_bytes > incoming_size_bytes
@@ -135,6 +158,13 @@ PacmDecision PacmSolver::select_evictions(
 
   for (std::size_t i = 0; i < cached.size(); ++i) {
     if (!kept[i]) decision.evict.push_back(cached[i].key);
+  }
+  if (observer_ != nullptr) {
+    const double solve_us =
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                  wall_start)
+            .count();
+    record_solve(decision, cached.size(), solve_us);
   }
   return decision;
 }

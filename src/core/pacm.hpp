@@ -22,6 +22,10 @@
 #include "core/frequency_tracker.hpp"
 #include "core/knapsack.hpp"
 
+namespace ape::obs {
+class Observer;
+}  // namespace ape::obs
+
 namespace ape::core {
 
 struct PacmObject {
@@ -46,6 +50,12 @@ class PacmSolver {
  public:
   explicit PacmSolver(const ApeConfig& config) : config_(config) {}
 
+  // Optional instrumentation: when set, every solve records counters
+  // ("pacm.solves", "pacm.exact" / "pacm.greedy") and histograms
+  // ("pacm.repair_rounds", "pacm.kept_utility", "pacm.fairness_gini",
+  // "pacm.candidates") plus a wall-clock "pacm.solve_us" marked volatile.
+  void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
+
   // `frequency(app)` must be positive for apps with cached objects; zero
   // frequencies are clamped to a small epsilon (an idle app's storage
   // efficiency would otherwise be infinite).
@@ -63,7 +73,11 @@ class PacmSolver {
       const std::vector<std::pair<AppId, double>>& frequencies);
 
  private:
+  void record_solve(const PacmDecision& decision, std::size_t candidates,
+                    double solve_us) const;
+
   const ApeConfig& config_;
+  obs::Observer* observer_ = nullptr;
 };
 
 }  // namespace ape::core

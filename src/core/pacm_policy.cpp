@@ -2,11 +2,19 @@
 
 #include <unordered_set>
 
+#include "obs/observer.hpp"
+
 namespace ape::core {
 
 PacmPolicy::PacmPolicy(const ApeConfig& config, const sim::Simulator& clock,
-                       const FrequencyTracker& frequencies)
-    : config_(config), clock_(clock), frequencies_(frequencies), solver_(config_) {}
+                       const FrequencyTracker& frequencies, obs::Observer* observer)
+    : config_(config),
+      clock_(clock),
+      frequencies_(frequencies),
+      observer_(observer),
+      solver_(config_) {
+  solver_.set_observer(observer_);
+}
 
 std::optional<std::vector<std::string>> PacmPolicy::select_victims(
     const cache::CacheStore& store, const cache::CacheEntry& incoming,
@@ -37,6 +45,12 @@ std::optional<std::vector<std::string>> PacmPolicy::select_victims(
   // The solver caps the kept set at (C - S), so evicting its complement
   // always frees at least `bytes_needed`.
   last_ = solver_.select_evictions(cached, incoming.size_bytes, frequencies);
+  if (observer_ != nullptr) {
+    observer_->event(now, "pacm", "solve", incoming.key,
+                     (last_.exact ? "exact" : "greedy") + std::string(" rounds=") +
+                         std::to_string(last_.repair_rounds) +
+                         " evict=" + std::to_string(last_.evict.size()));
+  }
   return last_.evict;
 }
 

@@ -15,9 +15,10 @@ namespace ape::core {
 class PacmPolicy final : public cache::EvictionPolicy {
  public:
   // `clock` supplies virtual "now" (remaining TTLs feed e_d); `frequencies`
-  // is the AP's live per-app tracker.
+  // is the AP's live per-app tracker; `observer` (nullable) receives solver
+  // metrics and per-solve trace events.
   PacmPolicy(const ApeConfig& config, const sim::Simulator& clock,
-             const FrequencyTracker& frequencies);
+             const FrequencyTracker& frequencies, obs::Observer* observer = nullptr);
 
   void on_insert(const cache::CacheEntry& /*entry*/) override {}
   void on_access(const cache::CacheEntry& /*entry*/) override {}
@@ -36,6 +37,7 @@ class PacmPolicy final : public cache::EvictionPolicy {
   ApeConfig config_;
   const sim::Simulator& clock_;
   const FrequencyTracker& frequencies_;
+  obs::Observer* observer_ = nullptr;
   PacmSolver solver_;
   PacmDecision last_;
   std::size_t invocations_ = 0;

@@ -1,0 +1,181 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ape::obs {
+
+namespace {
+
+void append_histogram_json(std::ostream& out, const MetricsRegistry::HistogramEntry& entry) {
+  const stats::Histogram& h = entry.histogram;
+  out << "{\"unit\":\"" << json_escape(h.unit()) << "\",\"count\":" << h.count()
+      << ",\"sum\":" << format_double(h.sum()) << ",\"mean\":" << format_double(h.mean())
+      << ",\"min\":" << format_double(h.empty() ? 0.0 : h.min())
+      << ",\"max\":" << format_double(h.empty() ? 0.0 : h.max())
+      << ",\"stddev\":" << format_double(h.stddev())
+      << ",\"p50\":" << format_double(h.percentile(0.50))
+      << ",\"p90\":" << format_double(h.percentile(0.90))
+      << ",\"p95\":" << format_double(h.percentile(0.95))
+      << ",\"p99\":" << format_double(h.percentile(0.99)) << "}";
+}
+
+void append_gauge_json(std::ostream& out, const Gauge& gauge) {
+  out << "{\"value\":" << format_double(gauge.value())
+      << ",\"max\":" << format_double(gauge.max()) << "}";
+}
+
+template <typename Map, typename Pred, typename Emit>
+void append_object(std::ostream& out, const Map& map, Pred include, Emit emit) {
+  out << "{";
+  bool first = true;
+  for (const auto& [name, entry] : map) {
+    if (!include(entry)) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":";
+    emit(out, entry);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& out, const MetricsRegistry& registry, const TraceLog* trace,
+                const ExportOptions& options) {
+  const auto stable = [](const auto& entry) {
+    return entry.volatility == Volatility::Stable;
+  };
+  const auto is_volatile = [](const auto& entry) {
+    return entry.volatility == Volatility::Volatile;
+  };
+
+  out << "{\"schema\":\"ape.obs.v1\"";
+
+  out << ",\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : options.meta) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  out << "}";
+
+  out << ",\"counters\":{";
+  first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(name) << "\":" << counter.value();
+  }
+  out << "}";
+
+  out << ",\"gauges\":";
+  append_object(out, registry.gauges(), stable,
+                [](std::ostream& os, const MetricsRegistry::GaugeEntry& e) {
+                  append_gauge_json(os, e.gauge);
+                });
+
+  out << ",\"histograms\":";
+  append_object(out, registry.histograms(), stable, append_histogram_json);
+
+  if (options.include_volatile) {
+    out << ",\"volatile\":{\"gauges\":";
+    append_object(out, registry.gauges(), is_volatile,
+                  [](std::ostream& os, const MetricsRegistry::GaugeEntry& e) {
+                    append_gauge_json(os, e.gauge);
+                  });
+    out << ",\"histograms\":";
+    append_object(out, registry.histograms(), is_volatile, append_histogram_json);
+    out << "}";
+  }
+
+  if (options.include_trace && trace != nullptr) {
+    out << ",\"trace\":{\"capacity\":" << trace->capacity()
+        << ",\"recorded\":" << trace->recorded() << ",\"dropped\":" << trace->dropped()
+        << ",\"events\":[";
+    first = true;
+    for (const TraceEvent& ev : trace->snapshot()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"t_us\":" << ev.at.since_epoch.count() << ",\"component\":\""
+          << json_escape(ev.component) << "\",\"kind\":\"" << json_escape(ev.kind)
+          << "\",\"key\":\"" << json_escape(ev.key) << "\",\"detail\":\""
+          << json_escape(ev.detail) << "\"}";
+    }
+    out << "]}";
+  }
+
+  out << "}\n";
+}
+
+std::string to_json(const MetricsRegistry& registry, const TraceLog* trace,
+                    const ExportOptions& options) {
+  std::ostringstream os;
+  write_json(os, registry, trace, options);
+  return os.str();
+}
+
+void write_csv(std::ostream& out, const MetricsRegistry& registry, bool include_volatile) {
+  out << "name,kind,field,value\n";
+  for (const auto& [name, counter] : registry.counters()) {
+    out << name << ",counter,value," << counter.value() << "\n";
+  }
+  for (const auto& [name, entry] : registry.gauges()) {
+    if (entry.volatility == Volatility::Volatile && !include_volatile) continue;
+    out << name << ",gauge,value," << format_double(entry.gauge.value()) << "\n";
+    out << name << ",gauge,max," << format_double(entry.gauge.max()) << "\n";
+  }
+  for (const auto& [name, entry] : registry.histograms()) {
+    if (entry.volatility == Volatility::Volatile && !include_volatile) continue;
+    const stats::Histogram& h = entry.histogram;
+    out << name << ",histogram,count," << h.count() << "\n";
+    out << name << ",histogram,mean," << format_double(h.mean()) << "\n";
+    out << name << ",histogram,p50," << format_double(h.percentile(0.50)) << "\n";
+    out << name << ",histogram,p95," << format_double(h.percentile(0.95)) << "\n";
+    out << name << ",histogram,p99," << format_double(h.percentile(0.99)) << "\n";
+  }
+}
+
+bool write_json_file(const std::string& path, const MetricsRegistry& registry,
+                     const TraceLog* trace, const ExportOptions& options) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_json(file, registry, trace, options);
+  return static_cast<bool>(file);
+}
+
+}  // namespace ape::obs

@@ -1,0 +1,67 @@
+// Machine-readable snapshot exporters for MetricsRegistry / TraceLog.
+//
+// The JSON schema ("ape.obs.v1") is the contract the bench suite, the
+// committed baselines under bench/baselines/ and scripts/
+// check_bench_regression.py all share — change it only additively:
+//
+//   {
+//     "schema": "ape.obs.v1",
+//     "meta":       { "<key>": "<value>", ... },          // caller-supplied
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": {"value": <f>, "max": <f>}, ... },
+//     "histograms": { "<name>": {"unit": "<u>", "count": <n>, "sum": <f>,
+//                                "mean": <f>, "min": <f>, "max": <f>,
+//                                "stddev": <f>, "p50": <f>, "p90": <f>,
+//                                "p95": <f>, "p99": <f>}, ... },
+//     "volatile":   { "gauges": {...}, "histograms": {...} },   // opt-in
+//     "trace":      { "capacity": <n>, "recorded": <n>, "dropped": <n>,
+//                     "events": [{"t_us": <int>, "component": "...",
+//                                 "kind": "...", "key": "...",
+//                                 "detail": "..."}, ...] }      // opt-in
+//   }
+//
+// Doubles are rendered with std::to_chars (shortest round-trip form), so a
+// deterministic run exports a byte-identical file.  Wall-clock instruments
+// (Volatility::Volatile) only appear under "volatile" and only when asked,
+// keeping the stable sections diffable.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ape::obs {
+
+struct ExportOptions {
+  std::map<std::string, std::string> meta;  // run identity (bench name, ...)
+  bool include_volatile = false;
+  bool include_trace = false;
+};
+
+void write_json(std::ostream& out, const MetricsRegistry& registry,
+                const TraceLog* trace = nullptr, const ExportOptions& options = {});
+
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry,
+                                  const TraceLog* trace = nullptr,
+                                  const ExportOptions& options = {});
+
+// Flat rows `name,kind,field,value` (kind in {counter, gauge, histogram}),
+// one line per scalar — trivially ingestible by spreadsheets / pandas.
+void write_csv(std::ostream& out, const MetricsRegistry& registry,
+               bool include_volatile = false);
+
+// Writes the JSON snapshot to `path`; returns false when the file cannot
+// be opened.
+bool write_json_file(const std::string& path, const MetricsRegistry& registry,
+                     const TraceLog* trace = nullptr, const ExportOptions& options = {});
+
+// Deterministic shortest-round-trip rendering ("0.5", not "5.000000e-01");
+// NaN/Inf degrade to 0 (JSON has no representation for them).
+[[nodiscard]] std::string format_double(double value);
+
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace ape::obs

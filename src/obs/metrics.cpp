@@ -1,0 +1,49 @@
+#include "obs/metrics.hpp"
+
+namespace ape::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) { return counters_[name]; }
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Volatility volatility) {
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) it->second.volatility = volatility;
+  return it->second.gauge;
+}
+
+stats::Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& unit,
+                                             Volatility volatility) {
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second.histogram = stats::Histogram(unit);
+    it->second.volatility = volatility;
+  }
+  return it->second.histogram;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other, const std::string& prefix) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[prefix + name].add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    auto [it, inserted] = gauges_.try_emplace(prefix + name);
+    if (inserted) it->second.volatility = g.volatility;
+    it->second.gauge.set(g.gauge.max());  // seed the high-water first
+    it->second.gauge.set(g.gauge.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto [it, inserted] = histograms_.try_emplace(prefix + name);
+    if (inserted) {
+      it->second.histogram = stats::Histogram(h.histogram.unit());
+      it->second.volatility = h.volatility;
+    }
+    it->second.histogram.merge(h.histogram);
+  }
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace ape::obs

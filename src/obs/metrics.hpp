@@ -1,0 +1,100 @@
+// MetricsRegistry — hierarchically named counters, gauges and latency
+// histograms for every layer of the reproduction (DESIGN.md §Observability).
+//
+// Names are dotted paths ("ap.cache.hit", "pacm.repair_rounds",
+// "dns.short_circuit"); the registry owns the instruments and hands out
+// stable references, so hot paths resolve a name once and bump a pointer
+// afterwards.  Iteration order is lexicographic (std::map), which is what
+// makes two identically seeded runs export byte-identical snapshots.
+//
+// Wall-clock measurements are inherently non-deterministic; instruments
+// created with Volatility::Volatile are segregated by the exporters so the
+// stable sections of a snapshot stay diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "stats/histogram.hpp"
+
+namespace ape::obs {
+
+enum class Volatility {
+  Stable,    // deterministic under a fixed seed (sim-time, counts, ratios)
+  Volatile,  // wall-clock or host-dependent; excluded from stable exports
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  void set(std::uint64_t v) noexcept { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-written value plus the high-water mark, so queue depths and memory
+// footprints report both the instantaneous and the peak reading.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (!seen_ || v > max_) max_ = v;
+    seen_ = true;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+  bool seen_ = false;
+};
+
+class MetricsRegistry {
+ public:
+  struct HistogramEntry {
+    stats::Histogram histogram;
+    Volatility volatility = Volatility::Stable;
+  };
+  struct GaugeEntry {
+    Gauge gauge;
+    Volatility volatility = Volatility::Stable;
+  };
+
+  // Lookup-or-create; references stay valid for the registry's lifetime
+  // (std::map nodes are stable).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name, Volatility volatility = Volatility::Stable);
+  stats::Histogram& histogram(const std::string& name, const std::string& unit = "",
+                              Volatility volatility = Volatility::Stable);
+
+  // Folds `other` into this registry with every name prefixed — how a bench
+  // lines up per-system registries ("system.APE-CACHE.ap.cache.hit", ...)
+  // inside one snapshot.
+  void merge(const MetricsRegistry& other, const std::string& prefix);
+
+  void clear();
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, GaugeEntry>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, HistogramEntry>& histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, GaugeEntry> gauges_;
+  std::map<std::string, HistogramEntry> histograms_;
+};
+
+}  // namespace ape::obs

@@ -1,0 +1,41 @@
+// Observer — the per-run observability bundle (metrics + trace) that
+// instrumented components share.
+//
+// One Observer lives for one run (the Testbed owns one per system under
+// test; benches own one per binary).  Components hold a nullable
+// `obs::Observer*`: a null pointer means "not observed" and every hook
+// degrades to a branch, so un-instrumented unit tests and the hot loops of
+// uninterested callers pay nothing.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ape::obs {
+
+class Observer {
+ public:
+  Observer() = default;
+  explicit Observer(std::size_t trace_capacity) : trace_(trace_capacity) {}
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceLog& trace() const noexcept { return trace_; }
+
+  // Shorthands for the two most common hooks.
+  void count(const std::string& name, std::uint64_t n = 1) { metrics_.counter(name).add(n); }
+  void event(sim::Time at, std::string component, std::string kind, std::string key = "",
+             std::string detail = "") {
+    trace_.record(at, std::move(component), std::move(kind), std::move(key),
+                  std::move(detail));
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+};
+
+}  // namespace ape::obs

@@ -1,0 +1,44 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+namespace ape::obs {
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceLog::record(sim::Time at, std::string component, std::string kind, std::string key,
+                      std::string detail) {
+  if (!enabled_) return;
+  TraceEvent& slot = ring_[next_];
+  slot.at = at;
+  slot.component = std::move(component);
+  slot.kind = std::move(kind);
+  slot.key = std::move(key);
+  slot.detail = std::move(detail);
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // When full, `next_` points at the oldest slot; otherwise the ring starts
+  // at 0 and `next_ == size_`.
+  const std::size_t start = size_ == capacity_ ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceLog::clear() {
+  for (auto& slot : ring_) slot = TraceEvent{};
+  next_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace ape::obs

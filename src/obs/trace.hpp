@@ -1,0 +1,58 @@
+// TraceLog — a bounded ring of typed sim-time events.
+//
+// Components append {sim_time, component, kind, key, detail} tuples on
+// interesting transitions (cache admit/evict, DNS short-circuit, PACM
+// solve, delegation).  Memory is bounded: once `capacity` events are held
+// the oldest is overwritten and `dropped()` counts what fell off, so a
+// week-long simulated run can keep tracing without growing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ape::obs {
+
+struct TraceEvent {
+  sim::Time at{};          // virtual time the event happened
+  std::string component;   // emitting subsystem ("ap", "pacm", "dns", ...)
+  std::string kind;        // event type within the component ("hit", "evict")
+  std::string key;         // object key / domain / app id, when applicable
+  std::string detail;      // free-form extra context
+};
+
+class TraceLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceLog(std::size_t capacity = kDefaultCapacity);
+
+  void record(sim::Time at, std::string component, std::string kind, std::string key = "",
+              std::string detail = "");
+
+  // Disabled logs drop records cheaply without counting them.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t recorded() const noexcept { return recorded_; }
+  [[nodiscard]] std::size_t dropped() const noexcept { return recorded_ - size_; }
+
+  // Events oldest -> newest (unwinds the ring).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;       // slot the next record lands in
+  std::size_t size_ = 0;       // live events (<= capacity_)
+  std::size_t recorded_ = 0;   // total ever recorded while enabled
+  bool enabled_ = true;
+};
+
+}  // namespace ape::obs

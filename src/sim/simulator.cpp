@@ -1,11 +1,18 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <iomanip>
 #include <sstream>
 #include <utility>
 
 namespace ape::sim {
+
+namespace {
+// Compaction only pays for itself once a meaningful number of slots are
+// dead; below this the heap is left alone regardless of the ratio.
+constexpr std::size_t kCompactionFloor = 64;
+}  // namespace
 
 std::string format_time(Time t) {
   const double s = t.seconds();
@@ -14,12 +21,25 @@ std::string format_time(Time t) {
   return os.str();
 }
 
+void Simulator::push_event(Event ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+Simulator::Event Simulator::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end());
+  Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
 Simulator::EventId Simulator::schedule_at(Time at, Callback fn) {
   assert(fn && "scheduling an empty callback");
   if (at < now_) at = now_;
   const EventId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id});
+  push_event(Event{at, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
+  high_water_ = std::max(high_water_, callbacks_.size());
   return id;
 }
 
@@ -28,22 +48,35 @@ Simulator::EventId Simulator::schedule_in(Duration delay, Callback fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  return callbacks_.erase(id) > 0;
+  if (callbacks_.erase(id) == 0) return false;
+  ++cancelled_;
+  ++tombstones_;
+  // Once dead slots dominate, rebuild: keeps schedule-then-cancel loops
+  // (timeouts that almost never fire) in O(live) memory.
+  if (tombstones_ >= kCompactionFloor && tombstones_ * 2 > heap_.size()) compact();
+  return true;
+}
+
+void Simulator::compact() {
+  std::erase_if(heap_, [this](const Event& ev) { return !callbacks_.contains(ev.id); });
+  std::make_heap(heap_.begin(), heap_.end());
+  tombstones_ = 0;
+  ++compactions_;
 }
 
 bool Simulator::fire_next() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
+  while (!heap_.empty()) {
+    const Event ev = pop_event();
     auto it = callbacks_.find(ev.id);
     if (it == callbacks_.end()) {
-      queue_.pop();  // tombstone from cancel()
+      assert(tombstones_ > 0);
+      --tombstones_;  // tombstone from cancel()
       continue;
     }
-    // Move the callback out *before* popping/erasing so a callback that
-    // schedules new events (almost all do) never invalidates our state.
+    // Move the callback out *before* erasing so a callback that schedules
+    // new events (almost all do) never invalidates our state.
     Callback fn = std::move(it->second);
     callbacks_.erase(it);
-    queue_.pop();
     now_ = ev.at;
     ++fired_;
     fn();
@@ -60,11 +93,13 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip tombstones at the head so their timestamps don't stall us.
-    const Event ev = queue_.top();
+    const Event ev = heap_.front();
     if (!callbacks_.contains(ev.id)) {
-      queue_.pop();
+      pop_event();
+      assert(tombstones_ > 0);
+      --tombstones_;
       continue;
     }
     if (deadline < ev.at) break;

@@ -1,8 +1,15 @@
 // Deterministic discrete-event simulator.
 //
-// Single-threaded event loop over a priority queue keyed by (time, seq):
-// two events at the same virtual instant fire in scheduling order, which
-// keeps runs bit-reproducible regardless of container iteration order.
+// Single-threaded event loop over a binary heap keyed by (time, seq): two
+// events at the same virtual instant fire in scheduling order, which keeps
+// runs bit-reproducible regardless of container iteration order.
+//
+// Cancellation is lazy: cancel() erases the callback and leaves a
+// tombstoned heap slot behind.  Tombstones are counted explicitly, so
+// pending() always reports live (non-cancelled) events, and when dead
+// slots outnumber live ones the heap is compacted in O(n) — a workload
+// that schedules-and-cancels forever (timeout patterns) runs in bounded
+// memory.
 //
 // Usage:
 //   Simulator sim;
@@ -13,8 +20,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -47,32 +54,59 @@ class Simulator {
   // Fires at most `n` events.
   std::size_t step(std::size_t n = 1);
 
+  // Live (non-cancelled) scheduled events.
   [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
   [[nodiscard]] std::size_t events_fired() const noexcept { return fired_; }
+
+  // --- queue introspection (feeds the obs queue-depth gauges) -------------
+  // Raw heap slots, live + tombstoned.
+  [[nodiscard]] std::size_t queue_size() const noexcept { return heap_.size(); }
+  // Cancelled-but-unpopped slots currently in the heap.
+  [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
+  // Tombstoned fraction of the heap; 0 when the heap is empty.
+  [[nodiscard]] double tombstone_ratio() const noexcept {
+    return heap_.empty() ? 0.0
+                         : static_cast<double>(tombstones_) /
+                               static_cast<double>(heap_.size());
+  }
+  // Total cancel() calls that actually cancelled something.
+  [[nodiscard]] std::size_t events_cancelled() const noexcept { return cancelled_; }
+  // Highest live pending() ever observed.
+  [[nodiscard]] std::size_t queue_high_water() const noexcept { return high_water_; }
+  // Times the heap was rebuilt to shed tombstones.
+  [[nodiscard]] std::size_t compactions() const noexcept { return compactions_; }
 
  private:
   struct Event {
     Time at;
     std::uint64_t seq;
     EventId id;
-    // Ordering for std::priority_queue (max-heap): invert so the earliest
-    // (then lowest seq) event is on top.
+    // Ordering for a max-heap front: invert so the earliest (then lowest
+    // seq) event is on top.
     friend bool operator<(const Event& a, const Event& b) noexcept {
       if (a.at != b.at) return b.at < a.at;
       return b.seq < a.seq;
     }
   };
 
-  // Pops queue entries until one with a live callback fires; returns false
+  // Pops heap entries until one with a live callback fires; returns false
   // when only tombstones (or nothing) remained.
   bool fire_next();
+  void push_event(Event ev);
+  Event pop_event();
+  // Drops every tombstoned slot and re-heapifies.
+  void compact();
 
   Time now_{};
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::priority_queue<Event> queue_;
+  std::vector<Event> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::size_t fired_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t tombstones_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t compactions_ = 0;
 };
 
 }  // namespace ape::sim

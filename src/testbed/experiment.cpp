@@ -80,6 +80,28 @@ SystemRunResult run_workload(Testbed& testbed, const std::vector<workload::AppSp
   // Grace period lets in-flight runs (worst case: delegation + timeouts)
   // complete before aggregation.
   testbed.simulator().run_until(horizon + sim::seconds(30.0));
+
+  // Snapshot the run's observability state: pull-phase gauges first, then
+  // the run.* aggregates, then copy the registry out so the result is
+  // self-contained after the testbed dies.
+  testbed.collect_metrics();
+  obs::MetricsRegistry& m = testbed.observer().metrics();
+  m.counter("run.app_runs").set(result->app_runs);
+  m.counter("run.object_fetches").set(result->object_fetches);
+  m.counter("run.failures").set(result->failures);
+  m.counter("run.ap_hits").set(result->ap_hits);
+  m.counter("run.high_priority_fetches").set(result->high_priority_fetches);
+  m.counter("run.high_priority_ap_hits").set(result->high_priority_ap_hits);
+  m.gauge("run.hit_ratio").set(result->hit_ratio());
+  m.gauge("run.high_priority_hit_ratio").set(result->high_priority_hit_ratio());
+  m.histogram("run.app_latency_ms", "ms").merge(result->app_latency_ms);
+  m.histogram("run.lookup_ms", "ms").merge(result->lookup_ms);
+  m.histogram("run.retrieval_ms", "ms").merge(result->retrieval_ms);
+  m.histogram("run.total_ms", "ms").merge(result->total_ms);
+  m.histogram("run.ap_hit_total_ms", "ms").merge(result->ap_hit_total_ms);
+  m.histogram("run.edge_total_ms", "ms").merge(result->edge_total_ms);
+  result->metrics = m;
+
   return std::move(*result);
 }
 

@@ -3,6 +3,7 @@
 // aggregates the paper's metrics.
 #pragma once
 
+#include "obs/metrics.hpp"
 #include "stats/histogram.hpp"
 #include "testbed/app_driver.hpp"
 #include "testbed/testbed.hpp"
@@ -40,6 +41,11 @@ struct SystemRunResult {
   std::size_t ap_hits = 0;
   std::size_t high_priority_fetches = 0;
   std::size_t high_priority_ap_hits = 0;
+
+  // Full metrics snapshot of the run — everything the testbed's Observer
+  // accumulated (ap.*, client.*, pacm.*, dns.*, sim.*) plus the run.*
+  // aggregates below, so benches can line systems up in one JSON file.
+  obs::MetricsRegistry metrics;
 
   [[nodiscard]] double hit_ratio() const noexcept {
     return object_fetches == 0

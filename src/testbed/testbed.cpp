@@ -14,7 +14,8 @@ const char* to_string(System system) noexcept {
   return "?";
 }
 
-Testbed::Testbed(TestbedParams params) : params_(std::move(params)) {
+Testbed::Testbed(TestbedParams params)
+    : params_(std::move(params)), obs_(params_.trace_capacity) {
   build_topology();
   build_dns();
   build_servers();
@@ -93,6 +94,7 @@ void Testbed::build_servers() {
   ap_options.policy = params_.system == System::ApeCacheLru ? core::ApRuntime::Policy::Lru
                                                             : core::ApRuntime::Policy::Pacm;
   if (params_.policy_override) ap_options.policy = *params_.policy_override;
+  ap_options.observer = &obs_;
   ap_ = std::make_unique<core::ApRuntime>(*network_, *tcp_, ap_node_, ap_options);
 
   if (params_.system == System::WiCache) {
@@ -143,6 +145,7 @@ Testbed::Client& Testbed::add_client(const std::string& name) {
   options.ap_ip = ap_ip_;
   options.ape_enabled =
       params_.system == System::ApeCache || params_.system == System::ApeCacheLru;
+  options.observer = &obs_;
   client->runtime = std::make_unique<core::ClientRuntime>(*network_, *tcp_, node,
                                                           next_client_port_++, options);
 
@@ -167,6 +170,37 @@ Testbed::Client& Testbed::add_client(const std::string& name) {
 
   clients_.push_back(std::move(client));
   return *clients_.back();
+}
+
+void Testbed::collect_metrics() {
+  obs::MetricsRegistry& m = obs_.metrics();
+
+  // Event-loop pressure: fired events, live queue depth and its high-water
+  // mark, and the tombstone (cancelled-slot) picture.
+  m.counter("sim.events_fired").set(sim_.events_fired());
+  m.counter("sim.events_cancelled").set(sim_.events_cancelled());
+  m.counter("sim.compactions").set(sim_.compactions());
+  m.gauge("sim.queue.pending").set(static_cast<double>(sim_.pending()));
+  m.gauge("sim.queue.high_water").set(static_cast<double>(sim_.queue_high_water()));
+  m.gauge("sim.queue.tombstones").set(static_cast<double>(sim_.tombstones()));
+  m.gauge("sim.queue.tombstone_ratio").set(sim_.tombstone_ratio());
+  m.gauge("sim.now_s").set(sim_.now().seconds());
+
+  // DNS hierarchy tallies (queries each speaker served / recursed).
+  m.counter("dns.ldns.queries").set(ldns_->queries_received());
+  m.counter("dns.ldns.upstream_queries").set(ldns_->upstream_queries());
+  m.counter("dns.ldns.cache_size").set(ldns_->cache_size());
+  m.counter("dns.adns.queries").set(adns_->queries_received());
+  m.counter("dns.cdn.queries").set(cdn_dns_->queries_received());
+
+  // Edge server / origin pull picture.
+  m.counter("edge.requests").set(edge_->requests_served());
+  m.counter("edge.hits").set(edge_->hits());
+  m.counter("edge.misses").set(edge_->misses());
+
+  m.gauge("ap.cpu.busy_s").set(sim::to_seconds(ap_->cpu().busy_time()));
+
+  ap_->snapshot_metrics();
 }
 
 sim::ResourceMeter& Testbed::meter_ap(sim::Duration interval, sim::Time until) {

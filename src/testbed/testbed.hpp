@@ -23,6 +23,7 @@
 #include "dns/cdn_dns.hpp"
 #include "dns/ldns.hpp"
 #include "http/edge_server.hpp"
+#include "obs/observer.hpp"
 #include "sim/resource_meter.hpp"
 #include "workload/app_model.hpp"
 
@@ -60,6 +61,9 @@ struct TestbedParams {
   // Ablation hook: overrides the AP cache policy implied by `system`
   // (e.g. run the APE-CACHE workflow with GDSF or FIFO management).
   std::optional<core::ApRuntime::Policy> policy_override;
+
+  // Sim-time trace ring size for this run's Observer (0 disables tracing).
+  std::size_t trace_capacity = obs::TraceLog::kDefaultCapacity;
 };
 
 class Testbed {
@@ -101,6 +105,17 @@ class Testbed {
   [[nodiscard]] net::IpAddress ap_ip() const noexcept { return ap_ip_; }
   [[nodiscard]] net::IpAddress edge_ip() const noexcept { return edge_ip_; }
 
+  // Per-run observability bundle: the AP, clients and PACM push into it
+  // while events happen; collect_metrics() adds the pull-phase gauges.
+  [[nodiscard]] obs::Observer& observer() noexcept { return obs_; }
+  [[nodiscard]] const obs::Observer& observer() const noexcept { return obs_; }
+
+  // Writes the point-in-time metrics (simulator queue stats, DNS server
+  // tallies, edge hits, AP cache occupancy and per-app C_a) into the
+  // observer's registry.  Call after — or during — a run; safe to call
+  // repeatedly (gauges are overwritten, set-style counters re-set).
+  void collect_metrics();
+
   // Resource meter over the AP (Fig. 2 / Fig. 14); call before running.
   [[nodiscard]] sim::ResourceMeter& meter_ap(sim::Duration interval, sim::Time until);
 
@@ -114,6 +129,7 @@ class Testbed {
   void build_servers();
 
   TestbedParams params_;
+  obs::Observer obs_;
   sim::Simulator sim_;
   net::Topology topology_;
   std::unique_ptr<net::Network> network_;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/resource_meter.hpp"
@@ -134,6 +135,87 @@ TEST(Simulator, RunUntilSkipsTombstonesBeyondDeadline) {
   sim.schedule_in(milliseconds(15), [&] { fired = true; });
   sim.run_until(Time{milliseconds(20)});
   EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, TombstoneAccountingTracksCancellations) {
+  Simulator sim;
+  const auto a = sim.schedule_in(milliseconds(1), [] {});
+  const auto b = sim.schedule_in(milliseconds(2), [] {});
+  sim.schedule_in(milliseconds(3), [] {});
+  EXPECT_EQ(sim.tombstones(), 0u);
+
+  sim.cancel(a);
+  sim.cancel(b);
+  EXPECT_EQ(sim.pending(), 1u);       // live events only
+  EXPECT_EQ(sim.queue_size(), 3u);    // heap still holds the dead slots
+  EXPECT_EQ(sim.tombstones(), 2u);
+  EXPECT_EQ(sim.events_cancelled(), 2u);
+  EXPECT_NEAR(sim.tombstone_ratio(), 2.0 / 3.0, 1e-12);
+
+  // Draining pops the tombstones without firing them.
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.tombstones(), 0u);
+  EXPECT_EQ(sim.queue_size(), 0u);
+  EXPECT_DOUBLE_EQ(sim.tombstone_ratio(), 0.0);
+}
+
+TEST(Simulator, ScheduleCancelLoopRunsInBoundedMemory) {
+  // The timeout pattern: every event is scheduled and then cancelled.
+  // Without compaction the heap would grow to `rounds` slots; with it the
+  // raw queue stays within a small multiple of the live count.
+  Simulator sim;
+  const std::size_t rounds = 100'000;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const auto id = sim.schedule_in(milliseconds(1.0), [] { FAIL(); });
+    ASSERT_TRUE(sim.cancel(id));
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_cancelled(), rounds);
+  EXPECT_GT(sim.compactions(), 0u);
+  EXPECT_LT(sim.queue_size(), 1000u);  // not O(rounds)
+  EXPECT_EQ(sim.run(), 0u);            // nothing live ever fires
+}
+
+TEST(Simulator, CompactionPreservesFiringOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<Simulator::EventId> doomed;
+  // Interleave keepers and cancels so compaction rebuilds a heap that
+  // still fires keepers in time order.  Doomed events outnumber keepers
+  // 3:1, so cancelling them pushes tombstones past the >1/2 threshold.
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_in(milliseconds(100 - i), [&order, i] { order.push_back(100 - i); });
+    for (int j = 0; j < 3; ++j) {
+      doomed.push_back(sim.schedule_in(milliseconds(500 + i + j), [] { FAIL(); }));
+    }
+  }
+  for (const auto id : doomed) sim.cancel(id);
+  EXPECT_GT(sim.compactions(), 0u);
+
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(Simulator, QueueHighWaterTracksPeakPending) {
+  Simulator sim;
+  std::vector<Simulator::EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(sim.schedule_in(milliseconds(1), [] {}));
+  for (const auto id : ids) sim.cancel(id);
+  sim.schedule_in(milliseconds(1), [] {});
+  // Peak was 10 concurrent live events even though only 1 remains.
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.queue_high_water(), 10u);
+}
+
+TEST(Simulator, EventsFiredExcludesCancelled) {
+  Simulator sim;
+  const auto id = sim.schedule_in(milliseconds(1), [] { FAIL(); });
+  sim.schedule_in(milliseconds(2), [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 1u);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
 }
 
 // ------------------------------------------------------------ TimeTypes
