@@ -46,8 +46,9 @@ int main(int argc, char** argv) {
     reporter.gauge(label + ".avg_packet_bytes", sum.avg);
   }
 
-  table.row({"Size (MB)", "9.4", stats::Table::num(low_sum.bytes / 1048576.0, 1), "368",
-             stats::Table::num(high_sum.bytes / 1048576.0, 1)});
+  table.row({"Size (MB)", "9.4",
+             stats::Table::num(static_cast<double>(low_sum.bytes) / 1048576.0, 1), "368",
+             stats::Table::num(static_cast<double>(high_sum.bytes) / 1048576.0, 1)});
   table.row({"Packets", "14261", std::to_string(low_sum.packets), "791615",
              std::to_string(high_sum.packets)});
   table.row({"Flows", "1209", std::to_string(low_sum.flows), "40686",

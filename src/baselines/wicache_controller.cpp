@@ -53,10 +53,10 @@ void WiCacheController::on_datagram(const net::Datagram& dgram) {
     in >> key;
     cpu_.submit(kControlServiceTime, [this, verb, key] {
       if (verb == "ADD") {
-        registry_.insert(key);
+        ap_keys_.insert(key);
         prefetch_inflight_.erase(key);
       } else {
-        registry_.erase(key);
+        ap_keys_.erase(key);
       }
     });
   }
@@ -70,7 +70,7 @@ void WiCacheController::handle_lookup(std::uint64_t seq, const std::string& url,
       parsed ? core::hash_to_string(core::hash_url(parsed.value().base())) : url;
   const std::string seq_text = std::to_string(seq);
 
-  if (registry_.contains(key)) {
+  if (ap_keys_.contains(key)) {
     stats_.record_hit(1);
     network_.send_datagram(node_, kWiCacheControllerPort, client,
                            to_payload(seq_text + " AP\n"));

@@ -39,7 +39,7 @@ class WiCacheController {
   ~WiCacheController();
 
   [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
-  [[nodiscard]] std::size_t registry_size() const noexcept { return registry_.size(); }
+  [[nodiscard]] std::size_t registry_size() const noexcept { return ap_keys_.size(); }
   [[nodiscard]] cache::CacheStatistics& stats() noexcept { return stats_; }
 
  private:
@@ -52,7 +52,7 @@ class WiCacheController {
   net::Endpoint agent_control_;
   net::IpAddress ap_http_ip_;
   net::IpAddress edge_ip_;
-  std::unordered_set<std::string> registry_;          // keys cached at the AP
+  std::unordered_set<std::string> ap_keys_;          // keys cached at the AP
   std::unordered_set<std::string> prefetch_inflight_; // avoid duplicate instructions
   cache::CacheStatistics stats_;
   std::size_t lookups_ = 0;

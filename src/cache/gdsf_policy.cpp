@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/ordered.hpp"
+
 namespace ape::cache {
 
 double GdsfPolicy::value_of(const CacheEntry& entry, std::uint64_t frequency,
@@ -31,22 +33,22 @@ void GdsfPolicy::on_erase(const std::string& key) {
 
 std::optional<std::vector<std::string>> GdsfPolicy::select_victims(
     const CacheStore& store, const CacheEntry& /*incoming*/, std::size_t bytes_needed) {
-  // Sort candidates by H ascending; evict the cheapest until freed.
-  std::vector<std::pair<double, const std::string*>> candidates;
-  candidates.reserve(meta_.size());
-  for (const auto& [key, meta] : meta_) candidates.emplace_back(meta.h, &key);
-  std::sort(candidates.begin(), candidates.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Sort candidates by H ascending; evict the cheapest until freed.  The
+  // stable sort over the key-sorted snapshot breaks equal-H ties by key, so
+  // victim choice never depends on hash order.
+  auto candidates = common::sorted_items(meta_);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const auto& a, const auto& b) { return a.second->h < b.second->h; });
 
   std::vector<std::string> victims;
   std::size_t freed = 0;
   double last_h = inflation_;
-  for (const auto& [h, key] : candidates) {
+  for (const auto& [key, meta] : candidates) {
     if (freed >= bytes_needed) break;
     const CacheEntry* entry = store.lookup_any(*key);
     if (entry == nullptr) continue;
     freed += entry->size_bytes;
-    last_h = h;
+    last_h = meta->h;
     victims.push_back(*key);
   }
   if (freed < bytes_needed) return std::nullopt;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/ordered.hpp"
+
 namespace ape::cache {
 
 void LfuPolicy::on_insert(const CacheEntry& entry) {
@@ -21,10 +23,10 @@ void LfuPolicy::on_erase(const std::string& key) {
 std::optional<std::vector<std::string>> LfuPolicy::select_victims(const CacheStore& store,
                                                                   const CacheEntry& /*incoming*/,
                                                                   std::size_t bytes_needed) {
-  // Sort candidates by (frequency asc, last_touch asc).
-  std::vector<std::pair<const std::string*, const Meta*>> candidates;
-  candidates.reserve(meta_.size());
-  for (const auto& [key, m] : meta_) candidates.emplace_back(&key, &m);
+  // Sort candidates by (frequency asc, last_touch asc); last_touch ticks are
+  // unique, so the order is total.  The key-sorted snapshot keeps the walk
+  // off the raw hash order.
+  auto candidates = common::sorted_items(meta_);
   std::sort(candidates.begin(), candidates.end(), [](const auto& a, const auto& b) {
     if (a.second->frequency != b.second->frequency) {
       return a.second->frequency < b.second->frequency;

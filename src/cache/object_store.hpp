@@ -7,10 +7,10 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/entry.hpp"
@@ -96,7 +96,9 @@ class CacheStore {
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::unique_ptr<EvictionPolicy> policy_;
-  std::unordered_map<std::string, CacheEntry> entries_;
+  // Ordered by key: for_each/entries() feed eviction solvers and metric
+  // exports, so iteration order must be canonical (ape-lint: unordered-iter).
+  std::map<std::string, CacheEntry> entries_;
   std::size_t evictions_ = 0;
   std::size_t rejections_ = 0;
   bool retain_expired_ = false;

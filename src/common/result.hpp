@@ -17,8 +17,11 @@ struct Error {
   std::string message;
 };
 
+// The class itself is [[nodiscard]]: a dropped Result is a dropped error,
+// which both the compiler (-Wunused-result) and ape-lint's discarded-result
+// check reject.  Deliberate drops must say why via static_cast<void>.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
   Result(Error error) : value_(std::move(error)) {}        // NOLINT(google-explicit-constructor)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -87,13 +88,12 @@ void ApRuntime::snapshot_metrics() {
   m.counter("ap.revalidations").set(revalidations_);
 
   // Per-app storage efficiency C_a = cached bytes / R(a) — the fairness
-  // signal PACM's Gini constraint bounds (paper Sec. IV-C).
-  std::unordered_map<AppId, std::size_t> bytes_by_app;
+  // signal PACM's Gini constraint bounds (paper Sec. IV-C).  Ordered map:
+  // gauge creation order must match across runs for byte-identical exports.
+  std::map<AppId, std::size_t> bytes_by_app;
   data_cache_->for_each(
       [&](const cache::CacheEntry& entry) { bytes_by_app[entry.app_id] += entry.size_bytes; });
-  std::vector<std::pair<AppId, std::size_t>> sorted(bytes_by_app.begin(), bytes_by_app.end());
-  std::sort(sorted.begin(), sorted.end());
-  for (const auto& [app, bytes] : sorted) {
+  for (const auto& [app, bytes] : bytes_by_app) {
     const std::string prefix = "ap.app." + std::to_string(app);
     m.gauge(prefix + ".storage_bytes").set(static_cast<double>(bytes));
     const double freq = freq_.frequency(app, now);
@@ -223,7 +223,8 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
       const auto remaining = resolved.value().expires - now;
       const std::uint32_t ttl = std::min<std::uint32_t>(
           options_.config.dns_answer_ttl_cap,
-          static_cast<std::uint32_t>(std::max<std::int64_t>(0, sim::to_seconds(remaining))));
+          static_cast<std::uint32_t>(std::max<std::int64_t>(
+              0, static_cast<std::int64_t>(sim::to_seconds(remaining)))));
       answer_with_ip(query, domain, resolved.value().ip, ttl, std::move(additionals),
                      std::move(respond));
     });
@@ -245,8 +246,8 @@ void ApRuntime::handle_regular_dns(const dns::DnsMessage& query,
       return;
     }
     const sim::Time now = network_.simulator().now();
-    const std::uint32_t ttl = static_cast<std::uint32_t>(
-        std::max<std::int64_t>(0, sim::to_seconds(resolved.value().expires - now)));
+    const std::uint32_t ttl = static_cast<std::uint32_t>(std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(sim::to_seconds(resolved.value().expires - now))));
     answer_with_ip(query, name, resolved.value().ip, ttl, {}, std::move(respond));
   });
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 
@@ -131,8 +132,10 @@ class ClientRuntime {
   Options options_;
   dns::DnsClient dns_;
   http::HttpClient http_;
-  std::unordered_map<std::string, CacheableSpec> registry_;  // by base URL
-  std::unordered_map<std::string, DomainState> domains_;     // by host
+  // Ordered: prefetch() walks the registry, and the walk order decides the
+  // sequence of simulated requests (ape-lint: unordered-iter).
+  std::map<std::string, CacheableSpec> registry_;         // by base URL
+  std::unordered_map<std::string, DomainState> domains_;  // by host (keyed lookups only)
 };
 
 [[nodiscard]] const char* to_string(ClientRuntime::Source source) noexcept;

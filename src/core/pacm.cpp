@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <limits>
-#include <unordered_map>
+#include <map>
 
 #include "obs/observer.hpp"
+#include "obs/wallclock.hpp"
 #include "stats/gini.hpp"
 
 namespace ape::core {
@@ -33,7 +33,9 @@ double PacmSolver::fairness(const std::vector<PacmObject>& objects,
                             const std::vector<bool>& kept,
                             const std::vector<std::pair<AppId, double>>& frequencies) {
   assert(objects.size() == kept.size());
-  std::unordered_map<AppId, double> bytes_by_app;
+  // Ordered by AppId so the efficiency vector (and hence the Gini fold) is
+  // byte-identical across runs.
+  std::map<AppId, double> bytes_by_app;
   for (std::size_t i = 0; i < objects.size(); ++i) {
     if (kept[i]) bytes_by_app[objects[i].app] += static_cast<double>(objects[i].size_bytes);
   }
@@ -48,7 +50,7 @@ double PacmSolver::fairness(const std::vector<PacmObject>& objects,
 }
 
 void PacmSolver::record_solve(const PacmDecision& decision, std::size_t candidates,
-                              double solve_us) const {
+                              const obs::WallClockTimer& timer) const {
   obs::MetricsRegistry& m = observer_->metrics();
   m.counter("pacm.solves").add();
   m.counter(decision.exact ? "pacm.exact" : "pacm.greedy").add();
@@ -60,17 +62,19 @@ void PacmSolver::record_solve(const PacmDecision& decision, std::size_t candidat
   m.histogram("pacm.kept_utility").record(decision.kept_utility);
   m.histogram("pacm.fairness_gini").record(decision.fairness);
   // Wall clock: host-dependent, hence volatile (excluded from stable
-  // snapshots so seeded runs stay byte-identical).
-  m.histogram("pacm.solve_us", "us", obs::Volatility::Volatile).record(solve_us);
+  // snapshots) and only measured when the observer opted in.
+  if (timer.enabled()) {
+    m.histogram("pacm.solve_us", "us", obs::Volatility::Volatile).record(timer.elapsed_us());
+  }
 }
 
 PacmDecision PacmSolver::select_evictions(
     const std::vector<PacmObject>& cached, std::size_t incoming_size_bytes,
     const std::vector<std::pair<AppId, double>>& frequencies) const {
-  const auto wall_start = std::chrono::steady_clock::now();
+  const obs::WallClockTimer timer(observer_ != nullptr && observer_->wallclock_enabled());
   PacmDecision decision;
   if (cached.empty()) {
-    if (observer_ != nullptr) record_solve(decision, 0, 0.0);
+    if (observer_ != nullptr) record_solve(decision, 0, timer);
     return decision;
   }
 
@@ -120,8 +124,9 @@ PacmDecision PacmSolver::select_evictions(
     }
 
     // Fairness repair: the app hoarding the most per-request storage loses
-    // its lowest-utility-density kept object.
-    std::unordered_map<AppId, double> bytes_by_app;
+    // its lowest-utility-density kept object.  Ordered map: the worst-app
+    // argmax tie-breaks on the smallest AppId, deterministically.
+    std::map<AppId, double> bytes_by_app;
     for (std::size_t i = 0; i < cached.size(); ++i) {
       if (kept[i]) bytes_by_app[cached[i].app] += static_cast<double>(cached[i].size_bytes);
     }
@@ -159,13 +164,7 @@ PacmDecision PacmSolver::select_evictions(
   for (std::size_t i = 0; i < cached.size(); ++i) {
     if (!kept[i]) decision.evict.push_back(cached[i].key);
   }
-  if (observer_ != nullptr) {
-    const double solve_us =
-        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
-                                                  wall_start)
-            .count();
-    record_solve(decision, cached.size(), solve_us);
-  }
+  if (observer_ != nullptr) record_solve(decision, cached.size(), timer);
   return decision;
 }
 

@@ -24,6 +24,7 @@
 
 namespace ape::obs {
 class Observer;
+class WallClockTimer;
 }  // namespace ape::obs
 
 namespace ape::core {
@@ -33,7 +34,9 @@ struct PacmObject {
   AppId app = 0;
   std::size_t size_bytes = 0;
   int priority = 1;
-  double remaining_ttl_s = 0.0;   // e_d
+  // Solver-facing plain units: utility() multiplies seconds * ms * priority,
+  // where only relative magnitudes matter — not a simulated timestamp.
+  double remaining_ttl_s = 0.0;   // e_d  // ape-lint: allow(raw-seconds)
   double fetch_latency_ms = 0.0;  // l_d
 };
 
@@ -53,7 +56,8 @@ class PacmSolver {
   // Optional instrumentation: when set, every solve records counters
   // ("pacm.solves", "pacm.exact" / "pacm.greedy") and histograms
   // ("pacm.repair_rounds", "pacm.kept_utility", "pacm.fairness_gini",
-  // "pacm.candidates") plus a wall-clock "pacm.solve_us" marked volatile.
+  // "pacm.candidates").  A wall-clock "pacm.solve_us" (volatile) is
+  // recorded only when the observer has opted in via enable_wallclock().
   void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
 
   // `frequency(app)` must be positive for apps with cached objects; zero
@@ -74,7 +78,7 @@ class PacmSolver {
 
  private:
   void record_solve(const PacmDecision& decision, std::size_t candidates,
-                    double solve_us) const;
+                    const obs::WallClockTimer& timer) const;
 
   const ApeConfig& config_;
   obs::Observer* observer_ = nullptr;

@@ -1,6 +1,6 @@
 #include "core/pacm_policy.hpp"
 
-#include <unordered_set>
+#include <set>
 
 #include "obs/observer.hpp"
 
@@ -23,7 +23,9 @@ std::optional<std::vector<std::string>> PacmPolicy::select_victims(
   const sim::Time now = clock_.now();
 
   std::vector<PacmObject> cached;
-  std::unordered_set<AppId> apps;
+  // Ordered: the frequency vector below is handed to the solver, and its
+  // order must not depend on hash-set iteration.
+  std::set<AppId> apps;
   cached.reserve(store.entry_count());
   store.for_each([&](const cache::CacheEntry& entry) {
     PacmObject obj;

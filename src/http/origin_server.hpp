@@ -6,9 +6,9 @@
 // edge server, with an added delay (retrieval latency)", Sec. V-A).
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "http/endpoint.hpp"
@@ -32,7 +32,9 @@ class ObjectCatalog {
   [[nodiscard]] std::vector<const ObjectSpec*> all() const;
 
  private:
-  std::unordered_map<std::string, ObjectSpec> by_url_;
+  // Ordered: all() feeds catalog seeding and table benches, whose row order
+  // must be canonical (ape-lint: unordered-iter).
+  std::map<std::string, ObjectSpec> by_url_;
 };
 
 // Serves a catalog over HTTP: 200 + modeled body after the object's

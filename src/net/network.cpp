@@ -77,11 +77,11 @@ std::optional<sim::Duration> Network::transfer_delay(NodeId from, NodeId to,
                                                      std::size_t bytes) const {
   const auto info = topology_.path(from, to);
   if (!info) return std::nullopt;
-  const double serialize_s =
+  const sim::Duration serialize =
       info->bottleneck_bandwidth > 0.0
-          ? static_cast<double>(bytes) / info->bottleneck_bandwidth
-          : 0.0;
-  return info->one_way_latency + sim::seconds(serialize_s);
+          ? sim::seconds(static_cast<double>(bytes) / info->bottleneck_bandwidth)
+          : sim::Duration{0};
+  return info->one_way_latency + serialize;
 }
 
 bool Network::send_datagram(NodeId from, Port source_port, Endpoint to, Payload payload) {

@@ -20,6 +20,13 @@ class Observer {
   Observer() = default;
   explicit Observer(std::size_t trace_capacity) : trace_(trace_capacity) {}
 
+  // Opt-in for wall-clock measurement (obs::WallClockTimer).  Off by
+  // default: solver/host timing only runs when a bench or experiment that
+  // wants the volatile section asks for it, so deterministic runs never
+  // even sample the clock.
+  void enable_wallclock(bool on = true) noexcept { wallclock_ = on; }
+  [[nodiscard]] bool wallclock_enabled() const noexcept { return wallclock_; }
+
   [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
   [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
@@ -36,6 +43,7 @@ class Observer {
  private:
   MetricsRegistry metrics_;
   TraceLog trace_;
+  bool wallclock_ = false;
 };
 
 }  // namespace ape::obs

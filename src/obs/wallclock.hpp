@@ -1,0 +1,38 @@
+// The single sanctioned wall-clock site in the tree.
+//
+// Solver/host timing is real observability, but wall-clock readings are
+// host-dependent: they must never leak into the stable sections of an
+// `ape.obs.v1` export (PR 1's byte-identity promise) and, by ape-lint rule,
+// may not appear outside this header.  Components therefore measure through
+// WallClockTimer, which samples only when the owning Observer has opted in
+// (`Observer::enable_wallclock`) — and whatever it measures may only be
+// recorded into Volatility::Volatile instruments.
+#pragma once
+
+#include <chrono>
+
+namespace ape::obs {
+
+class WallClockTimer {
+ public:
+  // A disabled timer never touches the clock and reports 0.
+  explicit WallClockTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) {
+      start_ = std::chrono::steady_clock::now();  // ape-lint: allow(wallclock)
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] double elapsed_us() const {
+    if (!enabled_) return 0.0;
+    const auto now = std::chrono::steady_clock::now();  // ape-lint: allow(wallclock)
+    return std::chrono::duration<double, std::micro>(now - start_).count();
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_{};  // ape-lint: allow(wallclock)
+};
+
+}  // namespace ape::obs

@@ -30,6 +30,8 @@ std::vector<TracePacket> generate_trace(const TraceSpec& spec, sim::Rng& rng) {
   std::vector<TracePacket> packets;
   packets.reserve(spec.packets);
 
+  // Plain-unit mean for rng.exponential(); the sampled gap is folded back
+  // into sim::seconds below.  // ape-lint: allow(raw-seconds)
   const double mean_gap_s =
       sim::to_seconds(spec.duration) / static_cast<double>(spec.packets);
   const double avg_size = spec.average_packet_bytes();

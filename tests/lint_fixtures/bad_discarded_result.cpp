@@ -1,0 +1,35 @@
+// Fixture: a bare statement calling a Result-returning function must fire;
+// consumed calls must not.
+#include <string>
+
+namespace fixture {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T v) : value_(v), ok_(true) {}
+  Result(Error) : value_{}, ok_(false) {}
+  bool ok() const { return ok_; }
+  const T& value() const { return value_; }
+
+ private:
+  T value_;
+  bool ok_;
+};
+
+Result<int> parse_header(const std::string& wire);
+Result<int> parse_body(const std::string& wire);
+
+inline int drops_and_consumes(const std::string& wire) {
+  parse_header(wire);  // expect-lint: discarded-result
+  const auto body = parse_body(wire);
+  if (!body.ok()) return -1;
+  if (!parse_header(wire).ok()) return -2;       // consumed: condition
+  return parse_body(wire).value() + body.value();  // consumed: chained
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: raw double seconds must fire; rates and non-time doubles must not.
+
+namespace fixture {
+
+struct Config {
+  double timeout_s = 5.0;           // expect-lint: raw-seconds
+  double retry_interval_seconds;    // expect-lint: raw-seconds
+  double bandwidth_bytes_per_sec = 1e9;  // rate, not a time quantity
+  double ratio = 0.5;               // plain double, no seconds suffix
+};
+
+inline double convert(double window_secs) {  // expect-lint: raw-seconds
+  return window_secs * 2.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// Fixture: iteration over unordered containers must fire; keyed lookups and
+// ordered-container iteration must not.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Exporter {
+  std::unordered_map<std::string, int> hits_by_key_;
+  std::unordered_set<int> live_ids_;
+  std::map<std::string, int> ordered_hits_;
+
+  int export_all() const {
+    int total = 0;
+    for (const auto& [key, hits] : hits_by_key_) {  // expect-lint: unordered-iter
+      total += hits + static_cast<int>(key.size());
+    }
+    for (int id : live_ids_) {  // expect-lint: unordered-iter
+      total += id;
+    }
+    for (auto it = hits_by_key_.begin(); it != hits_by_key_.end(); ++it) {  // expect-lint: unordered-iter
+      total += it->second;
+    }
+    // Ordered container: fine.
+    for (const auto& [key, hits] : ordered_hits_) {
+      total += hits;
+    }
+    return total;
+  }
+
+  // Keyed lookup without iteration: fine.
+  int lookup(const std::string& key) const {
+    auto it = hits_by_key_.find(key);
+    return it == hits_by_key_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace fixture

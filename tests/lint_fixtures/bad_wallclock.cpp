@@ -1,0 +1,31 @@
+// Fixture: every forbidden wall-clock / ambient-randomness token must fire.
+// Not compiled — consumed by ape_lint.py --fixtures (see tests/CMakeLists).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline double sample_everything() {
+  std::random_device rd;                                        // expect-lint: wallclock
+  std::srand(42);                                               // expect-lint: wallclock
+  const int r = std::rand();                                    // expect-lint: wallclock
+  const auto t0 = std::chrono::steady_clock::now();             // expect-lint: wallclock
+  const auto t1 = std::chrono::system_clock::now();             // expect-lint: wallclock
+  const auto t2 = std::chrono::high_resolution_clock::now();    // expect-lint: wallclock
+  const std::time_t unix_now = time(nullptr);                   // expect-lint: wallclock
+  return static_cast<double>(rd() + r) +
+         std::chrono::duration<double>(t2 - t0).count() +
+         std::chrono::duration<double>(t1.time_since_epoch()).count() +
+         static_cast<double>(unix_now);
+}
+
+// Method calls *named* time must not fire: the check targets the C library
+// call, not accessors.
+struct Clock {
+  double time() const { return 0.0; }
+};
+inline double accessor_ok(const Clock& c) { return c.time(); }
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: the same violations as the bad_* files, each silenced by an
+// ape-lint allowlist annotation — zero findings expected.  Deleting any
+// single annotation here (or in src/) makes the lint exit non-zero, which
+// is exactly the property the acceptance criteria demand.
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+inline double wall_elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();  // ape-lint: allow(wallclock)
+  // A comment-only annotation covers the next line:
+  // ape-lint: allow(wallclock)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct Snapshotter {
+  std::unordered_map<std::string, int> live_counts_;
+
+  int sum() const {
+    int total = 0;
+    // ape-lint: allow(unordered-iter) -- commutative fold, order-free
+    for (const auto& [key, n] : live_counts_) total += n;
+    return total;
+  }
+};
+
+struct Tunables {
+  double solver_budget_s = 0.25;  // ape-lint: allow(raw-seconds)
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: idiomatic clean code — zero findings expected.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Duration {
+  std::int64_t micros = 0;
+};
+
+struct Tunables {
+  Duration solver_budget{250'000};  // typed time, not raw double seconds
+  double hit_ratio_target = 0.9;
+};
+
+struct OrderedExporter {
+  std::map<std::string, std::uint64_t> counters_;
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, value] : counters_) out.push_back(name);
+    return out;
+  }
+};
+
+}  // namespace fixture

@@ -105,8 +105,8 @@ TEST(CacheStore, RemovalListenerFires) {
 TEST(CacheStore, AccessCountIncrements) {
   CacheStore store(1000, std::make_unique<LruPolicy>());
   store.insert(entry("a", 10), kT0);
-  store.get("a", kT0);
-  store.get("a", kT0);
+  ASSERT_NE(store.get("a", kT0), nullptr);
+  ASSERT_NE(store.get("a", kT0), nullptr);
   EXPECT_EQ(store.lookup_any("a")->access_count, 2u);
 }
 
@@ -166,7 +166,7 @@ TEST(LruPolicy, EvictsLeastRecentlyUsed) {
   store.insert(entry("a", 100), kT0);
   store.insert(entry("b", 100), kT0);
   store.insert(entry("c", 100), kT0);
-  store.get("a", kT0);  // freshen "a"; "b" becomes LRU
+  ASSERT_NE(store.get("a", kT0), nullptr);  // freshen "a"; "b" becomes LRU
   store.insert(entry("d", 100), kT0);
   EXPECT_NE(store.get("a", kT0), nullptr);
   EXPECT_EQ(store.get("b", kT0), nullptr);
@@ -191,7 +191,7 @@ TEST(FifoPolicy, EvictsOldestInsertion) {
   store.insert(entry("a", 100), kT0);
   store.insert(entry("b", 100), kT0);
   store.insert(entry("c", 100), kT0);
-  store.get("a", kT0);  // FIFO ignores access recency
+  ASSERT_NE(store.get("a", kT0), nullptr);  // FIFO ignores access recency
   store.insert(entry("d", 100), kT0);
   EXPECT_EQ(store.get("a", kT0), nullptr);
   EXPECT_NE(store.get("b", kT0), nullptr);
@@ -202,9 +202,9 @@ TEST(LfuPolicy, EvictsLeastFrequentlyUsed) {
   store.insert(entry("a", 100), kT0);
   store.insert(entry("b", 100), kT0);
   store.insert(entry("c", 100), kT0);
-  store.get("a", kT0);
-  store.get("a", kT0);
-  store.get("c", kT0);
+  ASSERT_NE(store.get("a", kT0), nullptr);
+  ASSERT_NE(store.get("a", kT0), nullptr);
+  ASSERT_NE(store.get("c", kT0), nullptr);
   store.insert(entry("d", 100), kT0);  // "b" has lowest frequency
   EXPECT_EQ(store.get("b", kT0), nullptr);
   EXPECT_NE(store.get("a", kT0), nullptr);

@@ -259,7 +259,7 @@ TEST(Codec, SingleByteMutationsNeverCrash) {
                                     net::IpAddress::from_octets(1, 2, 3, 4), 60));
   const auto wire = encode(m);
   for (std::size_t i = 0; i < wire.size(); ++i) {
-    for (std::uint8_t flip : {0x01, 0x80, 0xFF}) {
+    for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}, std::uint8_t{0xFF}}) {
       auto mutated = wire;
       mutated[i] ^= flip;
       const auto result = decode(mutated);

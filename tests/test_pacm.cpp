@@ -6,6 +6,7 @@
 #include "core/knapsack.hpp"
 #include "core/pacm.hpp"
 #include "core/pacm_policy.hpp"
+#include "obs/observer.hpp"
 #include "sim/rng.hpp"
 
 namespace ape::core {
@@ -324,6 +325,49 @@ TEST(PacmPolicy, ExpiredObjectsHaveZeroUtilityAndGoFirst) {
 
   EXPECT_EQ(store.lookup_any("dying"), nullptr);
   EXPECT_NE(store.lookup_any("healthy"), nullptr);
+}
+
+// ------------------------------------------------- wall-clock opt-in
+
+TEST(PacmSolver, SolveTimingIsOffByDefault) {
+  ApeConfig config;
+  config.cache_capacity_bytes = 10'000;
+  PacmSolver solver(config);
+  obs::Observer observer;
+  solver.set_observer(&observer);
+
+  std::vector<PacmObject> cached{
+      object("a", 1, 5'000, 1, 100.0, 10.0),
+      object("b", 2, 5'000, 1, 100.0, 10.0),
+  };
+  (void)solver.select_evictions(cached, 5'000, {{1, 1.0}, {2, 1.0}});
+
+  // Stable instruments recorded; the volatile wall-clock one was not —
+  // the default configuration never samples the host clock.
+  EXPECT_GE(observer.metrics().counters().at("pacm.solves").value(), 1u);
+  EXPECT_EQ(observer.metrics().histograms().count("pacm.solve_us"), 0u);
+}
+
+TEST(PacmSolver, SolveTimingRecordedWhenWallclockEnabled) {
+  ApeConfig config;
+  config.cache_capacity_bytes = 10'000;
+  PacmSolver solver(config);
+  obs::Observer observer;
+  observer.enable_wallclock();
+  solver.set_observer(&observer);
+
+  std::vector<PacmObject> cached{
+      object("a", 1, 5'000, 1, 100.0, 10.0),
+      object("b", 2, 5'000, 1, 100.0, 10.0),
+  };
+  (void)solver.select_evictions(cached, 5'000, {{1, 1.0}, {2, 1.0}});
+
+  const auto& histograms = observer.metrics().histograms();
+  ASSERT_EQ(histograms.count("pacm.solve_us"), 1u);
+  const auto& entry = histograms.at("pacm.solve_us");
+  EXPECT_EQ(entry.volatility, obs::Volatility::Volatile);
+  EXPECT_EQ(entry.histogram.count(), 1u);
+  EXPECT_GE(entry.histogram.min(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Minimal parallel clang-tidy driver (no run-clang-tidy dependency).
+
+Reads compile_commands.json from the build directory, filters to the
+requested source roots, and runs clang-tidy over each translation unit with
+the repo's .clang-tidy config.  Exits non-zero if any invocation reports a
+warning or error, so the CMake `lint` target and the CI lane fail on any
+new violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="run_clang_tidy")
+    parser.add_argument("roots", nargs="+", help="source roots to lint (e.g. src/)")
+    parser.add_argument("-p", dest="build_dir", required=True, help="build dir with compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy", help="clang-tidy executable")
+    parser.add_argument("-j", dest="jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args(argv)
+
+    db_path = os.path.join(args.build_dir, "compile_commands.json")
+    try:
+        with open(db_path, "r", encoding="utf-8") as f:
+            database = json.load(f)
+    except OSError as e:
+        print(f"run_clang_tidy: cannot read {db_path}: {e}", file=sys.stderr)
+        return 2
+
+    roots = tuple(os.path.abspath(r) + os.sep for r in args.roots)
+    files = sorted(
+        {
+            os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+            for entry in database
+        }
+    )
+    files = [f for f in files if f.startswith(roots)]
+    if not files:
+        print("run_clang_tidy: no files matched", file=sys.stderr)
+        return 2
+
+    def tidy_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", args.build_dir, "--quiet", path],
+            capture_output=True,
+            text=True,
+        )
+        out = proc.stdout.strip()
+        # clang-tidy exits 0 even with warnings unless -warnings-as-errors;
+        # treat any diagnostic line as a failure.
+        has_diag = any(": warning:" in line or ": error:" in line for line in out.splitlines())
+        return path, (1 if (proc.returncode != 0 or has_diag) else 0), out + (
+            "\n" + proc.stderr.strip() if proc.returncode != 0 else ""
+        )
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, status, output in pool.map(tidy_one, files):
+            if status:
+                failures += 1
+                rel = os.path.relpath(path)
+                print(f"--- clang-tidy: {rel}")
+                print(output)
+    if failures:
+        print(f"run_clang_tidy: {failures}/{len(files)} files with diagnostics")
+        return 1
+    print(f"run_clang_tidy: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
