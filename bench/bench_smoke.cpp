@@ -37,6 +37,28 @@ int main(int argc, char** argv) {
     reporter.gauge(label + ".latency_p99_ms", p99);
     reporter.merge_run(result, label);
   }
+
+  // Tiered flavour: APE-CACHE again but with a tight RAM cache over a
+  // flash tier (src/store), so CI guards the demotion/compaction path's
+  // perf trajectory too.  Appended after the classic runs — their metric
+  // names (and values) stay untouched.
+  {
+    testbed::TestbedParams params;
+    params.ape.cache_capacity_bytes = 1 * 1000 * 1000;
+    params.ape.flash_capacity_bytes = 16 * 1000 * 1000;
+    params.ape.sweep_interval = sim::minutes(1.0);
+    const auto result =
+        testbed::run_system(testbed::System::ApeCache, params, apps, config);
+    const double p50 = result.app_latency_ms.percentile(0.50);
+    const double p99 = result.app_latency_ms.percentile(0.99);
+    table.row({"APE-CACHE tiered", stats::Table::num(result.hit_ratio(), 3),
+               stats::Table::num(p50, 2), stats::Table::num(p99, 2),
+               std::to_string(result.app_runs)});
+    reporter.gauge("tiered.hit_ratio", result.hit_ratio());
+    reporter.gauge("tiered.latency_p50_ms", p50);
+    reporter.gauge("tiered.latency_p99_ms", p99);
+    reporter.merge_run(result, "tiered");
+  }
   table.print(std::cout);
 
   bench::print_note(

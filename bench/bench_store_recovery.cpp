@@ -1,0 +1,179 @@
+// Warm vs cold AP restart with the tiered store (DESIGN.md §"Storage
+// tiers & recovery"): phase 1 warms the cache, the AP then "crashes" and
+// is rebuilt, and phase 2 re-runs the same arrival process.  Three
+// scenarios differ only in what survives the crash:
+//
+//   warm  — flash tier enabled, journal preserved: mount replays it, so
+//           every demoted object is immediately servable again,
+//   cold  — flash tier enabled, media wiped: restart from nothing but
+//           with the same steady-state behaviour as `warm`,
+//   ram   — no flash tier at all: the pre-tiering AP, every restart cold.
+//
+// The headline number is the *recovery ratio* — phase-2 hit ratio over
+// phase-1 hit ratio — which the warm scenario must keep above 0.9.  The
+// `--json` snapshot is committed as bench/baselines/store_recovery.json
+// and diffed by scripts/check_bench_regression.py in CI.
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace ape;
+
+namespace {
+
+struct PhaseResult {
+  std::size_t object_fetches = 0;
+  std::size_t failures = 0;
+  std::size_t ap_hits = 0;
+  stats::Histogram total_ms;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    return object_fetches == 0
+               ? 0.0
+               : static_cast<double>(ap_hits) / static_cast<double>(object_fetches);
+  }
+};
+
+struct ScenarioResult {
+  PhaseResult before;  // phase 1, up to the crash
+  PhaseResult after;   // phase 2, from the restart on
+
+  [[nodiscard]] double recovery_ratio() const noexcept {
+    return before.hit_ratio() == 0.0 ? 0.0 : after.hit_ratio() / before.hit_ratio();
+  }
+};
+
+// One crash/restart run.  Both phases use the same Zipf+Poisson arrival
+// process (fresh schedule per phase, deterministic seeds), so phase 2 asks
+// for the same popular objects phase 1 cached.
+ScenarioResult run_scenario(testbed::Testbed& bed,
+                            const std::vector<workload::AppSpec>& apps,
+                            const testbed::WorkloadConfig& config, sim::Duration phase,
+                            bool preserve_flash) {
+  auto result = std::make_shared<ScenarioResult>();
+  auto* phase_sink = &result->before;
+
+  auto& client = bed.add_client("client-0");
+  std::vector<std::unique_ptr<testbed::AppDriver>> drivers;
+  drivers.reserve(apps.size());
+  for (const auto& app : apps) {
+    bed.host_app(app);
+    for (auto& spec : app.cacheables()) client.runtime->register_cacheable(spec);
+    drivers.push_back(
+        std::make_unique<testbed::AppDriver>(bed.simulator(), app, *client.fetcher));
+  }
+
+  auto on_run_done = [result, &phase_sink](testbed::AppRunResult run) {
+    for (const auto& obj : run.objects) {
+      PhaseResult& sink = *phase_sink;
+      ++sink.object_fetches;
+      if (!obj.result.success) {
+        ++sink.failures;
+        continue;
+      }
+      sink.total_ms.record(sim::to_millis(obj.result.total));
+      if (obj.result.source == core::ClientRuntime::Source::ApCache) ++sink.ap_hits;
+    }
+  };
+
+  auto plant_arrivals = [&](std::uint64_t seed, sim::Time from, sim::Time until) {
+    sim::Rng rng(seed);
+    workload::ArrivalSchedule arrivals(apps.size(), config.mean_freq_per_min,
+                                       config.zipf_exponent, rng);
+    while (auto arrival = arrivals.next(sim::Time{until - from})) {
+      testbed::AppDriver* driver = drivers[arrival->app_index].get();
+      bed.simulator().schedule_at(from + (arrival->at - sim::Time{}),
+                                  [driver, on_run_done] { driver->run_once(on_run_done); });
+    }
+  };
+
+  const sim::Duration drain = sim::seconds(30.0);
+
+  // Phase 1: warm up, then drain so no CPU or flash work is in flight.
+  plant_arrivals(config.seed, sim::Time{}, sim::Time{phase});
+  bed.simulator().run_until(sim::Time{phase} + drain);
+
+  // The crash: RAM state dies with the ApRuntime; the journal survives it
+  // only in the warm scenario.
+  bed.restart_ap(preserve_flash);
+  phase_sink = &result->after;
+
+  // Phase 2: same arrival process against the restarted AP.
+  const sim::Time resume = sim::Time{phase} + 2 * drain;
+  plant_arrivals(config.seed + 1, resume, resume + phase);
+  bed.simulator().run_until(resume + phase + drain);
+
+  bed.collect_metrics();
+  return std::move(*result);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter(argc, argv, "store_recovery");
+  bench::print_header("Store recovery — warm vs cold AP restart",
+                      "no paper counterpart; evaluates src/store's journaled flash tier");
+
+  const auto apps = bench::paper_workload(/*app_count=*/10, /*max_object_kb=*/100);
+  auto config = bench::paper_config(/*freq_per_min=*/3.0, /*duration_minutes=*/10.0);
+  const sim::Duration phase = config.duration;
+
+  // Tight RAM over a roomy flash: steady demotion traffic, so a crash has
+  // something real to lose.  LRU keeps victim selection (and therefore
+  // the demotion stream) deterministic and policy-independent.
+  testbed::TestbedParams tiered;
+  tiered.system = testbed::System::ApeCache;
+  tiered.policy_override = core::ApRuntime::Policy::Lru;
+  tiered.ape.cache_capacity_bytes = 1 * 1000 * 1000;
+  tiered.ape.flash_capacity_bytes = 16 * 1000 * 1000;
+
+  testbed::TestbedParams ram_only = tiered;
+  ram_only.ape.flash_capacity_bytes = 0;
+
+  struct Scenario {
+    const char* label;
+    testbed::TestbedParams params;
+    bool preserve_flash;
+  };
+  const std::vector<Scenario> scenarios{
+      {"warm", tiered, true},
+      {"cold", tiered, false},
+      {"ram", ram_only, false},
+  };
+
+  stats::Table table;
+  table.header({"Scenario", "hit before", "hit after", "recovery", "p50 after ms",
+                "p99 after ms", "replays"});
+  for (const auto& scenario : scenarios) {
+    testbed::Testbed bed(scenario.params);
+    const auto result = run_scenario(bed, apps, config, phase, scenario.preserve_flash);
+
+    const auto* flash = bed.ap().flash_tier();
+    const std::size_t replays = flash == nullptr ? 0 : flash->recoveries();
+    table.row({scenario.label, stats::Table::num(result.before.hit_ratio(), 3),
+               stats::Table::num(result.after.hit_ratio(), 3),
+               stats::Table::num(result.recovery_ratio(), 3),
+               stats::Table::num(result.after.total_ms.percentile(0.50), 2),
+               stats::Table::num(result.after.total_ms.percentile(0.99), 2),
+               std::to_string(replays)});
+
+    const std::string prefix = scenario.label;
+    reporter.gauge(prefix + ".hit_ratio_before", result.before.hit_ratio());
+    reporter.gauge(prefix + ".hit_ratio_after", result.after.hit_ratio());
+    reporter.gauge(prefix + ".recovery_ratio", result.recovery_ratio());
+    reporter.gauge(prefix + ".latency_after_p50_ms",
+                   result.after.total_ms.percentile(0.50));
+    reporter.gauge(prefix + ".latency_after_p99_ms",
+                   result.after.total_ms.percentile(0.99));
+    reporter.counter(prefix + ".journal_replays", replays);
+    reporter.metrics().merge(bed.observer().metrics(), prefix + ".");
+  }
+  table.print(std::cout);
+
+  bench::print_note(
+      "warm must recover >= 90% of its pre-crash hit ratio (ISSUE 3 acceptance); "
+      "compare snapshots against bench/baselines/store_recovery.json with "
+      "scripts/check_bench_regression.py.");
+  return reporter.finish();
+}

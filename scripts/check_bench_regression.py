@@ -30,7 +30,7 @@ import sys
 SCHEMA = "ape.obs.v1"
 
 # Metric families that gate CI (matched against the flattened name).
-DEFAULT_WATCH = r"(hit_ratio|p50|p99|events_fired)"
+DEFAULT_WATCH = r"(hit_ratio|recovery_ratio|p50|p99|events_fired)"
 
 # Histogram fields worth comparing (count is exact; the rest are values).
 HISTOGRAM_FIELDS = ("count", "mean", "p50", "p90", "p95", "p99", "min", "max")

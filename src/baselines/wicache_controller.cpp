@@ -104,8 +104,9 @@ WiCacheApAgent::WiCacheApAgent(net::Network& network, net::TcpTransport& tcp,
                             http::HttpServer::Responder respond) {
     serve(req, std::move(respond));
   });
-  store_.set_removal_listener(
-      [this](const cache::CacheEntry& entry) { report("REMOVE", entry.key); });
+  store_.set_removal_listener([this](const cache::CacheEntry& entry, cache::RemovalCause) {
+    report("REMOVE", entry.key);
+  });
 }
 
 WiCacheApAgent::~WiCacheApAgent() {

@@ -33,6 +33,7 @@ double CacheStatistics::high_priority_hit_ratio() const noexcept {
 
 void CacheStatistics::reset() {
   hits_ = misses_ = delegations_ = high_hits_ = high_lookups_ = 0;
+  sweeps_ = sweep_reclaimed_bytes_ = 0;
 }
 
 }  // namespace ape::cache

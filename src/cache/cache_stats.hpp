@@ -12,11 +12,21 @@ class CacheStatistics {
   void record_hit(int priority);
   void record_miss(int priority);
   void record_delegation(int priority);
+  // One periodic expiry sweep completed, reclaiming `bytes` (satellite
+  // accounting for ApRuntime's sweep event; 0-byte sweeps still count).
+  void record_sweep(std::size_t bytes) noexcept {
+    ++sweeps_;
+    sweep_reclaimed_bytes_ += bytes;
+  }
 
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_ + delegations_; }
   [[nodiscard]] std::size_t delegations() const noexcept { return delegations_; }
   [[nodiscard]] std::size_t lookups() const noexcept { return hits_ + misses_ + delegations_; }
+  [[nodiscard]] std::size_t sweeps() const noexcept { return sweeps_; }
+  [[nodiscard]] std::size_t sweep_reclaimed_bytes() const noexcept {
+    return sweep_reclaimed_bytes_;
+  }
 
   // Hit ratio over all lookups; 0 when no lookups yet.
   [[nodiscard]] double hit_ratio() const noexcept;
@@ -31,6 +41,8 @@ class CacheStatistics {
   std::size_t delegations_ = 0;
   std::size_t high_hits_ = 0;
   std::size_t high_lookups_ = 0;
+  std::size_t sweeps_ = 0;
+  std::size_t sweep_reclaimed_bytes_ = 0;
 };
 
 }  // namespace ape::cache

@@ -15,7 +15,7 @@ CacheStore::InsertOutcome CacheStore::insert(CacheEntry entry, sim::Time now) {
 
   // Replacing an existing entry frees its bytes first.
   if (auto it = entries_.find(entry.key); it != entries_.end()) {
-    erase_internal(it->first);
+    erase_internal(it->first, RemovalCause::Replaced);
   }
   // Expired entries are dead weight (unless retained for revalidation);
   // reclaim before asking the policy.
@@ -33,7 +33,7 @@ CacheStore::InsertOutcome CacheStore::insert(CacheEntry entry, sim::Time now) {
       auto it = entries_.find(key);
       if (it == entries_.end()) continue;
       freed += it->second.size_bytes;
-      erase_internal(key);
+      erase_internal(key, RemovalCause::Evicted);
       ++evictions_;
     }
     if (freed < needed) {
@@ -55,7 +55,7 @@ const CacheEntry* CacheStore::get(const std::string& key, sim::Time now) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   if (it->second.expired_at(now)) {
-    erase_internal(key);
+    erase_internal(key, RemovalCause::Expired);
     return nullptr;
   }
   it->second.last_access = now;
@@ -77,17 +77,17 @@ const CacheEntry* CacheStore::lookup_any(const std::string& key) const {
 
 bool CacheStore::erase(const std::string& key) {
   if (!entries_.contains(key)) return false;
-  erase_internal(key);
+  erase_internal(key, RemovalCause::Erased);
   return true;
 }
 
-void CacheStore::erase_internal(const std::string& key) {
+void CacheStore::erase_internal(const std::string& key, RemovalCause cause) {
   auto it = entries_.find(key);
   assert(it != entries_.end());
   assert(used_ >= it->second.size_bytes);
   used_ -= it->second.size_bytes;
   policy_->on_erase(key);
-  if (removal_listener_) removal_listener_(it->second);
+  if (removal_listener_) removal_listener_(it->second, cause);
   entries_.erase(it);
 }
 
@@ -98,7 +98,7 @@ std::size_t CacheStore::sweep_expired(sim::Time now) {
       reclaimed += it->second.size_bytes;
       used_ -= it->second.size_bytes;
       policy_->on_erase(it->first);
-      if (removal_listener_) removal_listener_(it->second);
+      if (removal_listener_) removal_listener_(it->second, RemovalCause::Expired);
       it = entries_.erase(it);
     } else {
       ++it;
@@ -110,7 +110,7 @@ std::size_t CacheStore::sweep_expired(sim::Time now) {
 void CacheStore::clear() {
   for (const auto& [key, entry] : entries_) {
     policy_->on_erase(key);
-    if (removal_listener_) removal_listener_(entry);
+    if (removal_listener_) removal_listener_(entry, RemovalCause::Cleared);
   }
   entries_.clear();
   used_ = 0;

@@ -37,6 +37,17 @@ class EvictionPolicy {
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
+// Why an entry left the store.  The flash tier demotes on Evicted only:
+// expired/replaced/erased copies are dead data nobody should pay flash
+// writes for (store/tiered_store.hpp).
+enum class RemovalCause {
+  Evicted,   // capacity pressure, chosen by the eviction policy
+  Expired,   // TTL ran out (lazy get-side erase or sweep_expired)
+  Replaced,  // same-key insert superseded it
+  Erased,    // explicit erase()
+  Cleared,   // store-wide clear()
+};
+
 class CacheStore {
  public:
   CacheStore(std::size_t capacity_bytes, std::unique_ptr<EvictionPolicy> policy);
@@ -74,10 +85,10 @@ class CacheStore {
   [[nodiscard]] std::size_t evictions() const noexcept { return evictions_; }
   [[nodiscard]] std::size_t rejections() const noexcept { return rejections_; }
 
-  // Fires for every entry that leaves the store (eviction, expiry sweep,
-  // replacement, explicit erase).  Wi-Cache uses this to keep its central
-  // controller's registry in sync with the AP's cache.
-  void set_removal_listener(std::function<void(const CacheEntry&)> listener) {
+  // Fires for every entry that leaves the store, with the reason.  Wi-Cache
+  // uses this to keep its central controller's registry in sync with the
+  // AP's cache; the APE flash tier uses it to demote eviction victims.
+  void set_removal_listener(std::function<void(const CacheEntry&, RemovalCause)> listener) {
     removal_listener_ = std::move(listener);
   }
 
@@ -89,9 +100,9 @@ class CacheStore {
   [[nodiscard]] bool retain_expired() const noexcept { return retain_expired_; }
 
  private:
-  void erase_internal(const std::string& key);
+  void erase_internal(const std::string& key, RemovalCause cause);
 
-  std::function<void(const CacheEntry&)> removal_listener_;
+  std::function<void(const CacheEntry&, RemovalCause)> removal_listener_;
 
   std::size_t capacity_;
   std::size_t used_ = 0;

@@ -58,6 +58,40 @@ ApRuntime::ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId 
     delegation_flag_counter_ = &observer_->metrics().counter("ap.cache.delegation");
   }
   data_cache_->set_retain_expired(options_.config.enable_revalidation);
+
+  if (options_.enable_ape && options_.config.flash_capacity_bytes > 0) {
+    if (options_.flash_media == nullptr) {
+      owned_media_ = std::make_unique<store::FlashMedia>();
+      options_.flash_media = owned_media_.get();
+    }
+    store::FlashDeviceParams dev;
+    dev.read_latency = options_.config.flash_read_latency;
+    dev.write_latency = options_.config.flash_write_latency;
+    dev.read_bandwidth = options_.config.flash_read_bandwidth;
+    dev.write_bandwidth = options_.config.flash_write_bandwidth;
+    flash_device_ = std::make_unique<store::FlashDevice>(network_.simulator(), dev);
+
+    store::FlashTierParams tier;
+    tier.capacity_bytes = options_.config.flash_capacity_bytes;
+    tier.segment_bytes = options_.config.flash_segment_bytes;
+    tier.compact_dead_ratio = options_.config.flash_compact_dead_ratio;
+    flash_tier_ = std::make_unique<store::FlashTier>(*flash_device_, *options_.flash_media,
+                                                     tier, observer_);
+    tiered_ = std::make_unique<store::TieredStore>(network_.simulator(), *data_cache_,
+                                                   *flash_tier_);
+    // Mount: formatted media means this AP is restarting — replay the
+    // journal so the flash tier comes back warm.
+    if (options_.flash_media->formatted()) {
+      flash_tier_->recover(network_.simulator().now());
+    }
+    // Tier-aware PACM: eviction demotes, so l_d clamps to the flash read.
+    if (auto* pacm = dynamic_cast<PacmPolicy*>(&data_cache_->policy())) {
+      pacm->set_demotion_latency(
+          [this](const cache::CacheEntry& e) { return tiered_->flash_read_ms(e); });
+    }
+  }
+  if (options_.config.sweep_interval.count() > 0) schedule_sweep();
+
   dns_ = std::make_unique<Dns>(*this, network_, node_, cpu_, options_.config.dns_service_time);
 
   http::ServiceCost cost;
@@ -68,6 +102,28 @@ ApRuntime::ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId 
                              http::HttpServer::Responder respond) {
     handle_http(req, std::move(respond));
   });
+}
+
+ApRuntime::~ApRuntime() {
+  if (sweep_event_ != 0) network_.simulator().cancel(sweep_event_);
+}
+
+void ApRuntime::schedule_sweep() {
+  sweep_event_ =
+      network_.simulator().schedule_in(options_.config.sweep_interval, [this] {
+        const sim::Time now = network_.simulator().now();
+        // Revalidation retains expired entries on purpose; sweep flash only.
+        std::size_t ram_reclaimed = 0;
+        if (!data_cache_->retain_expired()) ram_reclaimed = data_cache_->sweep_expired(now);
+        std::size_t flash_reclaimed = 0;
+        if (tiered_ != nullptr) flash_reclaimed = tiered_->sweep_flash_expired(now);
+        stats_.record_sweep(ram_reclaimed);
+        if (observer_ != nullptr && ram_reclaimed + flash_reclaimed > 0) {
+          observer_->event(now, "ap", "sweep", "",
+                           std::to_string(ram_reclaimed + flash_reclaimed) + " bytes");
+        }
+        schedule_sweep();
+      });
 }
 
 void ApRuntime::snapshot_metrics() {
@@ -87,6 +143,39 @@ void ApRuntime::snapshot_metrics() {
   m.counter("ap.delegations").set(delegations_);
   m.counter("ap.revalidations").set(revalidations_);
 
+  // Tier metrics are created only in their opt-in configurations so that
+  // RAM-only runs export byte-identical ape.obs.v1 snapshots.
+  if (options_.config.sweep_interval.count() > 0) {
+    m.counter("ap.cache.sweeps").set(stats_.sweeps());
+    m.counter("ap.cache.sweep_reclaimed_bytes").set(stats_.sweep_reclaimed_bytes());
+  }
+  if (tiered_ != nullptr) {
+    store::FlashTier& flash = *flash_tier_;
+    m.gauge("ap.store.ram_bytes").set(static_cast<double>(data_cache_->used_bytes()));
+    m.gauge("ap.store.flash_bytes").set(static_cast<double>(flash.live_bytes()));
+    m.gauge("ap.flash.capacity_bytes").set(static_cast<double>(flash.capacity_bytes()));
+    m.gauge("ap.flash.physical_bytes").set(static_cast<double>(flash.physical_bytes()));
+    m.gauge("ap.flash.entries").set(static_cast<double>(flash.entry_count()));
+    m.gauge("ap.flash.segments").set(static_cast<double>(flash.segment_count()));
+    m.counter("ap.flash.puts").set(flash.puts());
+    m.counter("ap.flash.rejections").set(flash.rejections());
+    m.counter("ap.flash.evictions").set(flash.evictions());
+    m.counter("ap.flash.compactions").set(flash.compactions());
+    m.counter("ap.flash.expired_reclaimed_bytes").set(flash.expired_reclaimed_bytes());
+    m.counter("ap.flash.journal_records").set(flash.journal().record_count());
+    m.counter("ap.flash.journal_bytes").set(flash.journal().total_bytes());
+    m.counter("ap.flash.journal_rewrites").set(flash.journal().rewrites());
+    m.counter("ap.flash.journal_replays").set(flash.recoveries());
+    m.counter("ap.flash.device_reads").set(flash.device().reads());
+    m.counter("ap.flash.device_writes").set(flash.device().writes());
+    m.gauge("ap.flash.device_busy_ms").set(sim::to_millis(flash.device().busy_time()));
+    m.counter("ap.store.demotions").set(tiered_->demotions());
+    m.counter("ap.store.demotion_skips").set(tiered_->demotion_skips());
+    m.counter("ap.store.promotions").set(tiered_->promotions());
+    m.counter("ap.store.flash_hits").set(tiered_->flash_hits());
+    m.counter("ap.store.flash_misses").set(tiered_->flash_misses());
+  }
+
   // Per-app storage efficiency C_a = cached bytes / R(a) — the fairness
   // signal PACM's Gini constraint bounds (paper Sec. IV-C).  Ordered map:
   // gauge creation order must match across runs for byte-identical exports.
@@ -105,6 +194,7 @@ void ApRuntime::snapshot_metrics() {
 
 void ApRuntime::reset_cache() {
   data_cache_->clear();
+  if (flash_tier_ != nullptr) flash_tier_->reset();  // wipes the journal too
   block_list_.clear();
   stats_.reset();
   url_index_.clear();
@@ -122,6 +212,10 @@ std::size_t ApRuntime::memory_bytes() const {
     total += c.runtime_memory_bytes;
     total += data_cache_->used_bytes();
     total += (url_index_.size() + block_list_.size()) * c.per_index_entry_bytes;
+    // Flash bodies live on flash, but the tier's index is a RAM structure.
+    if (flash_tier_ != nullptr) {
+      total += flash_tier_->entry_count() * c.per_index_entry_bytes;
+    }
   }
   return total;
 }
@@ -309,7 +403,10 @@ ApRuntime::FlagSet ApRuntime::collect_flags(const dns::DnsName& domain,
   for (UrlHash h : hashes) {
     CacheFlag flag;
     const std::string key = hash_to_string(h);
-    if (data_cache_->peek(key, now) != nullptr) {
+    if (data_cache_->peek(key, now) != nullptr ||
+        (tiered_ != nullptr && tiered_->flash_contains(key, now))) {
+      // A valid flash copy is still a Cache-Hit: the AP serves it locally
+      // (at flash cost) without touching the edge.
       flag = CacheFlag::CacheHit;
     } else if (block_list_.contains(key)) {
       flag = CacheFlag::CacheMiss;
@@ -394,18 +491,53 @@ void ApRuntime::handle_http(const http::HttpRequest& request,
     return;
   }
 
+  if (tiered_ != nullptr && tiered_->flash_contains(key, now)) {
+    // Flash hit: read the body off the device (paying flash time rather
+    // than an edge round trip), promote if the RAM policy takes it, serve.
+    if (observer_ != nullptr) {
+      observer_->count("ap.http.flash_serves");
+      observer_->event(now, "ap", "flash_hit", key);
+    }
+    tiered_->fetch_flash(
+        key, now,
+        [this, request, hash, stale = std::move(stale), respond = std::move(respond)](
+            std::optional<cache::CacheEntry> entry) mutable {
+          if (entry.has_value()) {
+            serve_from_cache(*entry, std::move(respond));
+            return;
+          }
+          // The copy vanished while the read was queued; treat as a miss.
+          finish_http_miss(request, hash, std::move(stale), std::move(respond));
+        });
+    return;
+  }
+  finish_http_miss(request, hash, std::move(stale), std::move(respond));
+}
+
+void ApRuntime::finish_http_miss(const http::HttpRequest& request, UrlHash hash,
+                                 std::optional<cache::CacheEntry> stale,
+                                 http::HttpServer::Responder respond) {
   const bool is_delegation = http::find_header(request.headers, "X-Ape-Delegate") != nullptr;
   if (!is_delegation) {
     // Plain cache fetch that raced an eviction/expiry: the client falls
     // back to the edge on 404.
     if (observer_ != nullptr) {
+      const sim::Time now = network_.simulator().now();
       observer_->count("ap.http.race_fallback");
-      observer_->event(now, "ap", "race_fallback", key);
+      observer_->event(now, "ap", "race_fallback", hash_to_string(hash));
     }
     respond(http::make_status_response(404, "not in AP cache"));
     return;
   }
   delegate_fetch(request, hash, std::move(stale), std::move(respond));
+}
+
+void ApRuntime::insert_object(cache::CacheEntry entry, sim::Time now) {
+  if (tiered_ != nullptr) {
+    tiered_->insert(std::move(entry), now);
+  } else {
+    data_cache_->insert(std::move(entry), now);
+  }
 }
 
 void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
@@ -482,7 +614,7 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
             }
             entry.expires = now + sim::seconds(ttl);
             const std::size_t size = entry.size_bytes;
-            data_cache_->insert(std::move(entry), now);
+            insert_object(std::move(entry), now);
             account_served_bytes(size);
 
             http::HttpResponse resp;
@@ -520,7 +652,7 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
             if (const auto* etag = http::find_header(resp.headers, "ETag")) {
               entry.etag = *etag;
             }
-            data_cache_->insert(std::move(entry), now);
+            insert_object(std::move(entry), now);
             if (observer_ != nullptr) {
               observer_->count("ap.cache.inserts");
               observer_->count("ap.delegation.bytes_fetched", size);

@@ -29,6 +29,8 @@
 #include "dns/stub_resolver.hpp"
 #include "http/endpoint.hpp"
 #include "obs/observer.hpp"
+#include "sim/simulator.hpp"
+#include "store/tiered_store.hpp"
 
 namespace ape::core {
 
@@ -47,9 +49,18 @@ class ApRuntime {
     // Nullable observability sink ("ap.*" metrics, cache/DNS trace events);
     // also forwarded into the PACM policy when `policy == Policy::Pacm`.
     obs::Observer* observer = nullptr;
+    // Durable flash media for the tier (used when config.flash_capacity_bytes
+    // > 0).  Pass the same FlashMedia to successive ApRuntime incarnations to
+    // model a warm restart: mount replays its journal.  Null makes the
+    // runtime own private media (no cross-restart persistence).
+    store::FlashMedia* flash_media = nullptr;
   };
 
   ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId node, Options options);
+  // Cancels the pending periodic sweep event, if any.  Destroying a runtime
+  // with flash I/O or CPU work still in flight is UB (completion events
+  // capture `this`); quiesce the sim first — see testbed::Testbed::restart_ap.
+  ~ApRuntime();
 
   // --- model/introspection ----------------------------------------------
   [[nodiscard]] net::NodeId node() const noexcept { return node_; }
@@ -64,6 +75,11 @@ class ApRuntime {
   [[nodiscard]] const ApeConfig& config() const noexcept { return options_.config; }
   [[nodiscard]] std::size_t delegations_performed() const noexcept { return delegations_; }
   [[nodiscard]] std::size_t revalidations_performed() const noexcept { return revalidations_; }
+
+  // Tiered-store introspection; null in RAM-only configurations.
+  [[nodiscard]] bool tiered() const noexcept { return tiered_ != nullptr; }
+  [[nodiscard]] store::TieredStore* tiered_store() noexcept { return tiered_.get(); }
+  [[nodiscard]] const store::FlashTier* flash_tier() const noexcept { return flash_tier_.get(); }
 
   // --- traffic replay / pass-through accounting (Figs. 2 and 14) ---------
   void forward_packet(std::size_t bytes, bool new_flow);
@@ -139,8 +155,18 @@ class ApRuntime {
 
   // ---- HTTP side ----------------------------------------------------------
   void handle_http(const http::HttpRequest& request, http::HttpServer::Responder respond);
+  // Tail of handle_http once both RAM and flash have missed: 404 for plain
+  // fetches, delegation otherwise.
+  void finish_http_miss(const http::HttpRequest& request, UrlHash hash,
+                        std::optional<cache::CacheEntry> stale,
+                        http::HttpServer::Responder respond);
   void serve_from_cache(const cache::CacheEntry& entry,
                         http::HttpServer::Responder respond);
+  // Admits a freshly fetched object (through the tiered store when present,
+  // so a stale flash copy is invalidated).
+  void insert_object(cache::CacheEntry entry, sim::Time now);
+  // Self-rescheduling periodic expiry sweep (config.sweep_interval > 0).
+  void schedule_sweep();
   // `stale` carries the expired-but-present entry when revalidation may
   // refresh it with a conditional request instead of a full origin pull.
   void delegate_fetch(const http::HttpRequest& request, UrlHash hash,
@@ -157,6 +183,14 @@ class ApRuntime {
   std::unique_ptr<cache::CacheStore> data_cache_;
   cache::BlockList block_list_;
   cache::CacheStatistics stats_;
+
+  // Flash tier (null in RAM-only configurations).  `owned_media_` backs
+  // Options::flash_media when the caller did not supply durable media.
+  std::unique_ptr<store::FlashMedia> owned_media_;
+  std::unique_ptr<store::FlashDevice> flash_device_;
+  std::unique_ptr<store::FlashTier> flash_tier_;
+  std::unique_ptr<store::TieredStore> tiered_;
+  sim::Simulator::EventId sweep_event_ = 0;
 
   std::unique_ptr<Dns> dns_;
   dns::DnsClient upstream_;

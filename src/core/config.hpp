@@ -31,6 +31,21 @@ struct ApeConfig {
   // without moving the body across the WAN.
   bool enable_revalidation = false;
 
+  // Flash tier (src/store): 0 disables it, keeping the AP a pure RAM cache
+  // and every existing run byte-identical.  When enabled, RAM evictions
+  // demote to a journaled flash log and misses probe flash before the edge.
+  std::size_t flash_capacity_bytes = 0;
+  std::size_t flash_segment_bytes = 1 * 1000 * 1000;
+  double flash_compact_dead_ratio = 0.5;
+  sim::Duration flash_read_latency = sim::microseconds(150);
+  sim::Duration flash_write_latency = sim::microseconds(400);
+  double flash_read_bandwidth = 80e6;   // bytes/s
+  double flash_write_bandwidth = 25e6;  // bytes/s
+
+  // Periodic RAM expiry sweep: 0 disables (expired entries then die lazily
+  // on access or insert pressure, the pre-tiering behaviour).
+  sim::Duration sweep_interval{0};
+
   // --- DNS-Cache ----------------------------------------------------------
   // Extra AP CPU time for the piggybacked cache lookup relative to a plain
   // DNS query (measured at ~0.02 ms in the paper, Fig. 11b).

@@ -1,5 +1,6 @@
 #include "core/pacm_policy.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "obs/observer.hpp"
@@ -35,6 +36,12 @@ std::optional<std::vector<std::string>> PacmPolicy::select_victims(
     obj.priority = entry.priority;
     obj.remaining_ttl_s = sim::to_seconds(entry.remaining_ttl(now));
     obj.fetch_latency_ms = sim::to_millis(entry.fetch_latency);
+    if (demotion_latency_ms_) {
+      // Tiered AP: eviction demotes to flash, so the latency a resident
+      // copy saves is only the cheaper of edge refetch and flash read.
+      obj.fetch_latency_ms =
+          std::min(obj.fetch_latency_ms, std::max(0.01, demotion_latency_ms_(entry)));
+    }
     cached.push_back(std::move(obj));
     apps.insert(entry.app_id);
   });

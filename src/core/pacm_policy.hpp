@@ -30,6 +30,16 @@ class PacmPolicy final : public cache::EvictionPolicy {
 
   [[nodiscard]] std::string name() const override { return "PACM"; }
 
+  // Tier awareness: when the AP has a flash tier, evicting an object only
+  // demotes it — a later hit costs a flash read, not an edge round trip.
+  // The callback returns that flash read cost in milliseconds; PACM then
+  // clamps the latency-saved term l_d to min(l_edge, l_flash), deflating
+  // the utility of objects that are cheap to bring back.  Unset (the
+  // default) keeps the single-tier formula.
+  void set_demotion_latency(std::function<double(const cache::CacheEntry&)> fn) {
+    demotion_latency_ms_ = std::move(fn);
+  }
+
   [[nodiscard]] const PacmDecision& last_decision() const noexcept { return last_; }
   [[nodiscard]] std::size_t invocations() const noexcept { return invocations_; }
 
@@ -38,6 +48,7 @@ class PacmPolicy final : public cache::EvictionPolicy {
   const sim::Simulator& clock_;
   const FrequencyTracker& frequencies_;
   obs::Observer* observer_ = nullptr;
+  std::function<double(const cache::CacheEntry&)> demotion_latency_ms_;
   PacmSolver solver_;
   PacmDecision last_;
   std::size_t invocations_ = 0;

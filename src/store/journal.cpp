@@ -1,0 +1,48 @@
+#include "store/journal.hpp"
+
+#include <utility>
+
+namespace ape::store {
+
+ObjectMeta ObjectMeta::from_entry(const cache::CacheEntry& entry) {
+  ObjectMeta meta;
+  meta.key = entry.key;
+  meta.size_bytes = entry.size_bytes;
+  meta.app_id = entry.app_id;
+  meta.priority = entry.priority;
+  meta.expires = entry.expires;
+  meta.fetch_latency = entry.fetch_latency;
+  meta.etag = entry.etag;
+  return meta;
+}
+
+cache::CacheEntry ObjectMeta::to_entry() const {
+  cache::CacheEntry entry;
+  entry.key = key;
+  entry.size_bytes = size_bytes;
+  entry.app_id = app_id;
+  entry.priority = priority;
+  entry.expires = expires;
+  entry.fetch_latency = fetch_latency;
+  entry.etag = etag;
+  return entry;
+}
+
+void Journal::append(JournalRecord record) {
+  total_bytes_ += record.encoded_bytes();
+  log_.push_back(std::move(record));
+}
+
+void Journal::rewrite(std::vector<JournalRecord> records) {
+  log_ = std::move(records);
+  total_bytes_ = 0;
+  for (const auto& r : log_) total_bytes_ += r.encoded_bytes();
+  ++rewrites_;
+}
+
+void Journal::clear() {
+  log_.clear();
+  total_bytes_ = 0;
+}
+
+}  // namespace ape::store

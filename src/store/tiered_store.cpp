@@ -1,0 +1,66 @@
+#include "store/tiered_store.hpp"
+
+#include <utility>
+
+namespace ape::store {
+
+TieredStore::TieredStore(sim::Simulator& sim, cache::CacheStore& ram, FlashTier& flash)
+    : sim_(sim), ram_(ram), flash_(flash) {
+  ram_.set_removal_listener([this](const cache::CacheEntry& entry, cache::RemovalCause cause) {
+    on_ram_removal(entry, cause);
+  });
+}
+
+cache::CacheStore::InsertOutcome TieredStore::insert(cache::CacheEntry entry, sim::Time now) {
+  const std::string key = entry.key;
+  const auto outcome = ram_.insert(std::move(entry), now);
+  if (outcome == cache::CacheStore::InsertOutcome::Inserted) {
+    // The fresh copy supersedes any flash-resident one.
+    flash_.invalidate(key);
+  }
+  return outcome;
+}
+
+void TieredStore::fetch_flash(const std::string& key, sim::Time now,
+                              std::function<void(std::optional<cache::CacheEntry>)> done) {
+  flash_.fetch(key, now, [this, done = std::move(done)](std::optional<ObjectMeta> meta) mutable {
+    if (!meta.has_value()) {
+      ++flash_misses_;
+      done(std::nullopt);
+      return;
+    }
+    ++flash_hits_;
+    cache::CacheEntry entry = meta->to_entry();
+    // Promotion attempt: offer the object back to RAM at completion time.
+    // The RAM policy may refuse (the object is not worth its evictions);
+    // then the flash copy stays put and we serve from flash — no thrash.
+    const auto outcome = ram_.insert(entry, sim_.now());
+    if (outcome == cache::CacheStore::InsertOutcome::Inserted) {
+      ++promotions_;
+      flash_.invalidate(entry.key);  // RAM copy is authoritative again
+    }
+    done(std::move(entry));
+  });
+}
+
+double TieredStore::flash_read_ms(const cache::CacheEntry& entry) const {
+  return sim::to_millis(flash_.device().read_cost(entry.size_bytes));
+}
+
+void TieredStore::on_ram_removal(const cache::CacheEntry& entry, cache::RemovalCause cause) {
+  if (cause != cache::RemovalCause::Evicted) return;
+  const sim::Time now = sim_.now();
+  if (entry.expired_at(now)) return;  // stale victims are just dropped
+  // Demotion only pays off when a flash read beats refetching upstream.
+  if (flash_.device().read_cost(entry.size_bytes) >= entry.fetch_latency) {
+    ++demotion_skips_;
+    return;
+  }
+  if (flash_.put(entry, now) == FlashTier::PutOutcome::Stored) {
+    ++demotions_;
+  } else {
+    ++demotion_skips_;
+  }
+}
+
+}  // namespace ape::store

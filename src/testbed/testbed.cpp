@@ -85,17 +85,14 @@ void Testbed::build_servers() {
   edge_ = std::make_unique<http::EdgeCacheServer>(*tcp_, edge_node_, *edge_cpu_);
 
   // The AP: APE-CACHE runtimes for the two APE systems, stock forwarder for
-  // Wi-Cache / Edge Cache.
-  core::ApRuntime::Options ap_options;
-  ap_options.config = params_.ape;
-  ap_options.upstream_dns = net::Endpoint{ldns_ip_, net::kDnsPort};
-  ap_options.enable_ape =
+  // Wi-Cache / Edge Cache.  The flash media outlives ApRuntime incarnations
+  // (restart_ap), modelling the AP's persistent storage part.
+  const bool ape_enabled =
       params_.system == System::ApeCache || params_.system == System::ApeCacheLru;
-  ap_options.policy = params_.system == System::ApeCacheLru ? core::ApRuntime::Policy::Lru
-                                                            : core::ApRuntime::Policy::Pacm;
-  if (params_.policy_override) ap_options.policy = *params_.policy_override;
-  ap_options.observer = &obs_;
-  ap_ = std::make_unique<core::ApRuntime>(*network_, *tcp_, ap_node_, ap_options);
+  if (ape_enabled && params_.ape.flash_capacity_bytes > 0) {
+    flash_media_ = std::make_unique<store::FlashMedia>();
+  }
+  build_ap();
 
   if (params_.system == System::WiCache) {
     wicache_agent_ = std::make_unique<baselines::WiCacheApAgent>(
@@ -106,6 +103,31 @@ void Testbed::build_servers() {
         *network_, controller_node_, *controller_cpu_,
         net::Endpoint{ap_ip_, baselines::kWiCacheAgentControlPort}, ap_ip_, edge_ip_);
   }
+}
+
+void Testbed::build_ap() {
+  core::ApRuntime::Options ap_options;
+  ap_options.config = params_.ape;
+  ap_options.upstream_dns = net::Endpoint{ldns_ip_, net::kDnsPort};
+  ap_options.enable_ape =
+      params_.system == System::ApeCache || params_.system == System::ApeCacheLru;
+  ap_options.policy = params_.system == System::ApeCacheLru ? core::ApRuntime::Policy::Lru
+                                                            : core::ApRuntime::Policy::Pacm;
+  if (params_.policy_override) ap_options.policy = *params_.policy_override;
+  ap_options.observer = &obs_;
+  ap_options.flash_media = flash_media_.get();
+  ap_ = std::make_unique<core::ApRuntime>(*network_, *tcp_, ap_node_, ap_options);
+}
+
+void Testbed::restart_ap(bool preserve_flash) {
+  assert(ap_ != nullptr);
+  assert(wicache_agent_ == nullptr && "restart_ap models APE firmware restarts only");
+  // Completion events capture the runtime; tearing it down mid-flight is UB.
+  assert(ap_->cpu().busy_servers() == 0 && ap_->cpu().queued() == 0 &&
+         "restart_ap requires a quiesced AP (drain the sim first)");
+  ap_.reset();  // DNS/HTTP servers unbind, pending sweep event is cancelled
+  if (!preserve_flash && flash_media_ != nullptr) flash_media_->clear();
+  build_ap();
 }
 
 void Testbed::host_app(const workload::AppSpec& app) {

@@ -123,10 +123,24 @@ class Testbed {
   // traffic that merely transits it (edge fetches).
   void account_passthrough(std::size_t bytes);
 
+  // Crash/restart model (flash-tier experiments): tears the ApRuntime down
+  // and rebuilds it on the same node.  RAM state (cache, DNS record cache,
+  // url_index) is lost; with `preserve_flash` the durable FlashMedia
+  // survives and the new runtime replays its journal at mount (a *warm*
+  // restart), without it the media is wiped first (a *cold* restart).
+  // Only valid for APE systems, and only at a quiesced instant — no CPU or
+  // flash work in flight (in-flight completions capture the old runtime).
+  void restart_ap(bool preserve_flash);
+
+  // Durable flash media handed to every ApRuntime incarnation; null when
+  // the config has no flash tier.
+  [[nodiscard]] store::FlashMedia* flash_media() noexcept { return flash_media_.get(); }
+
  private:
   void build_topology();
   void build_dns();
   void build_servers();
+  void build_ap();
 
   TestbedParams params_;
   obs::Observer obs_;
@@ -143,6 +157,7 @@ class Testbed {
   // per-node CPUs (other than the AP's, which lives in ApRuntime)
   std::unique_ptr<sim::ServiceQueue> edge_cpu_, ldns_cpu_, adns_cpu_, cdn_cpu_, controller_cpu_;
 
+  std::unique_ptr<store::FlashMedia> flash_media_;
   std::unique_ptr<core::ApRuntime> ap_;
   std::unique_ptr<http::EdgeCacheServer> edge_;
   std::unique_ptr<dns::LocalDnsServer> ldns_;

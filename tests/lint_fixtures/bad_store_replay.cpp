@@ -1,0 +1,49 @@
+// Fixture: a flash-tier-style journal replay written the *wrong* way, so
+// ape-lint provably covers the store subsystem's failure modes.  Replay
+// rebuilds the object index that exports and eviction scans iterate —
+// walking an unordered index, stamping records with wall-clock time, or
+// expressing flash latency in raw seconds would all break byte-identical
+// recovery (src/store/flash_tier.cpp does none of these).
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct StoreRecord {
+  std::string key;
+  std::uint32_t segment = 0;
+  std::size_t size_bytes = 0;
+};
+
+struct BadStoreReplay {
+  // An unordered index: rebuilding state from it is hash-seed dependent.
+  std::unordered_map<std::string, StoreRecord> replayed_index_;
+
+  std::size_t checkpoint(std::vector<StoreRecord>& out) const {
+    std::size_t bytes = 0;
+    // Journal rewrite must emit records in a canonical order; this doesn't.
+    for (const auto& [key, rec] : replayed_index_) {  // expect-lint: unordered-iter
+      out.push_back(rec);
+      bytes += rec.size_bytes;
+    }
+    return bytes;
+  }
+
+  double mount() {
+    // Wall-clock recovery stamps differ across replays of the same seed.
+    const auto start = std::chrono::steady_clock::now();  // expect-lint: wallclock
+    const auto end = std::chrono::steady_clock::now();  // expect-lint: wallclock
+    return std::chrono::duration<double>(end - start).count();
+  }
+
+  double flash_read_cost(std::size_t bytes) const {
+    // Raw seconds instead of sim::Duration for device latency.
+    double cost_seconds = static_cast<double>(bytes) / 80e6;  // expect-lint: raw-seconds
+    return cost_seconds;
+  }
+};
+
+}  // namespace fixture

@@ -93,13 +93,22 @@ TEST(CacheStore, ClearEmptiesEverything) {
 TEST(CacheStore, RemovalListenerFires) {
   CacheStore store(250, std::make_unique<LruPolicy>());
   std::vector<std::string> removed;
-  store.set_removal_listener([&](const CacheEntry& e) { removed.push_back(e.key); });
+  std::vector<RemovalCause> causes;
+  store.set_removal_listener([&](const CacheEntry& e, RemovalCause cause) {
+    removed.push_back(e.key);
+    causes.push_back(cause);
+  });
   store.insert(entry("a", 100), kT0);
   store.insert(entry("b", 100), kT0);
   store.insert(entry("c", 100), kT0);  // evicts "a"
   EXPECT_EQ(removed, std::vector<std::string>{"a"});
+  EXPECT_EQ(causes.back(), RemovalCause::Evicted);
   store.erase("b");
   EXPECT_EQ(removed.back(), "b");
+  EXPECT_EQ(causes.back(), RemovalCause::Erased);
+  store.insert(entry("c", 120), kT0);  // same-key replacement
+  EXPECT_EQ(removed.back(), "c");
+  EXPECT_EQ(causes.back(), RemovalCause::Replaced);
 }
 
 TEST(CacheStore, AccessCountIncrements) {
