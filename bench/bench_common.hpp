@@ -35,14 +35,23 @@ class BenchReporter {
         json_path_ = argv[++i];
       } else if (arg == "--csv" && i + 1 < argc) {
         csv_path_ = argv[++i];
+      } else if (arg == "--trace-out" && i + 1 < argc) {
+        trace_path_ = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: %s [--json <path>] [--csv <path>]\n", name_.c_str());
+        std::printf("usage: %s [--json <path>] [--csv <path>] [--trace-out <path>]\n",
+                    name_.c_str());
         std::exit(0);
       }
     }
   }
 
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+
+  // Perfetto trace destination (`--trace-out <path>`); empty when the bench
+  // should not run its traced flavour.  Tracing changes wire traffic, so
+  // benches must keep traced runs *separate* from the snapshot runs — the
+  // `--json` output stays byte-identical whether or not this is set.
+  [[nodiscard]] const std::string& trace_path() const noexcept { return trace_path_; }
 
   void gauge(const std::string& name, double value) { registry_.gauge(name).set(value); }
   void counter(const std::string& name, std::uint64_t value) {
@@ -85,6 +94,7 @@ class BenchReporter {
   std::string name_;
   std::string json_path_;
   std::string csv_path_;
+  std::string trace_path_;
   obs::MetricsRegistry registry_;
 };
 

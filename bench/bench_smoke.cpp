@@ -3,9 +3,90 @@
 // scripts/check_bench_regression.py on every pull request.  Runtime is a
 // few seconds — small enough for CI, large enough that hit ratios, latency
 // percentiles and simulator event counts are meaningful.
+#include <map>
+
 #include "bench_common.hpp"
+#include "obs/span_log.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace ape;
+
+namespace {
+
+// Traced flavour (`--trace-out <path>`): one extra APE-CACHE run with the
+// span subsystem on, validated and attributed before the Perfetto dump is
+// written.  Kept apart from the snapshot runs above — trace carriers are
+// real wire bytes, so this run is *not* byte-identical to the default ones
+// and must never feed the `--json` snapshot.
+int run_traced(const std::string& trace_path, const std::vector<workload::AppSpec>& apps,
+               const testbed::WorkloadConfig& config) {
+  testbed::TestbedParams params;
+  params.enable_spans = true;
+  params.span_capacity = 1 << 20;  // hold the full workload; drops would be a bug here
+  testbed::Testbed bed(params);
+  for (const auto& app : apps) bed.host_app(app);
+  (void)testbed::run_workload(bed, apps, config);
+
+  const auto& spans = bed.observer().spans().spans();
+  const auto issues = obs::validate_spans(spans);
+  if (!issues.empty()) {
+    for (const auto& issue : issues) {
+      std::fprintf(stderr, "trace invariant violated: trace=%llu span=%llu %s\n",
+                   static_cast<unsigned long long>(issue.trace),
+                   static_cast<unsigned long long>(issue.span), issue.what.c_str());
+    }
+    return 1;
+  }
+  if (bed.observer().spans().dropped() != 0) {
+    std::fprintf(stderr, "trace capacity too small: %zu spans dropped\n",
+                 bed.observer().spans().dropped());
+    return 1;
+  }
+
+  // Latency attribution must reconcile *exactly* (integer sim-time): the
+  // exclusive times of every trace sum to its root's end-to-end latency.
+  const auto traces = obs::attribute_traces(spans);
+  std::map<std::string, std::pair<std::size_t, sim::Duration>> by_kind;
+  for (const auto& trace : traces) {
+    if (!trace.reconciles) {
+      std::fprintf(stderr,
+                   "attribution failed to reconcile: trace=%llu end_to_end=%lld us "
+                   "exclusive_sum=%lld us\n",
+                   static_cast<unsigned long long>(trace.trace),
+                   static_cast<long long>(trace.end_to_end.count()),
+                   static_cast<long long>(trace.exclusive_sum.count()));
+      return 1;
+    }
+    for (const auto& row : trace.rows) {
+      auto& slot = by_kind[row.span->name];
+      slot.first += 1;
+      slot.second += row.exclusive;
+    }
+  }
+
+  stats::Table attribution;
+  attribution.header({"Span kind", "count", "exclusive total ms", "mean ms"});
+  for (const auto& [kind, slot] : by_kind) {
+    const double total_ms = sim::to_millis(slot.second);
+    attribution.row({kind, std::to_string(slot.first), stats::Table::num(total_ms, 2),
+                     stats::Table::num(total_ms / static_cast<double>(slot.first), 3)});
+  }
+  std::printf("Traced run: %zu traces, %zu spans, all reconciled exactly\n", traces.size(),
+              spans.size());
+  attribution.print(std::cout);
+
+  obs::PerfettoExportOptions options;
+  options.meta["bench"] = "smoke";
+  options.meta["system"] = "ape";
+  if (!obs::write_perfetto_file(trace_path, bed.observer().spans(), options)) {
+    std::fprintf(stderr, "error: cannot write %s\n", trace_path.c_str());
+    return 1;
+  }
+  std::printf("perfetto trace: %s\n", trace_path.c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchReporter reporter(argc, argv, "smoke");
@@ -65,5 +146,10 @@ int main(int argc, char** argv) {
       "Two runs with the same seed must produce byte-identical snapshots; "
       "compare against bench/baselines/smoke.json with "
       "scripts/check_bench_regression.py.");
+
+  if (!reporter.trace_path().empty()) {
+    const int rc = run_traced(reporter.trace_path(), apps, config);
+    if (rc != 0) return rc;
+  }
   return reporter.finish();
 }

@@ -1,0 +1,32 @@
+# ctest driver for the trace-smoke lane: runs the smoke bench with causal
+# tracing on, then re-validates the Perfetto dump *offline* with
+# tools/trace_report.py --validate — an independent re-implementation of
+# the span invariants, so a bug in the C++ attribution can't vouch for
+# itself.  Invoked as:
+#
+#   cmake -DSMOKE_BIN=... -DPYTHON=... -DTRACE_REPORT=... -DOUT=... \
+#         -P scripts/trace_smoke.cmake
+#
+# Fails (FATAL_ERROR) when the bench's own in-process validation, the dump
+# write, or the offline validation fails.
+
+foreach(var SMOKE_BIN PYTHON TRACE_REPORT OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trace_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SMOKE_BIN} --trace-out ${OUT}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke --trace-out failed (rc=${bench_rc}): "
+                      "span invariants or attribution reconciliation broken")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${TRACE_REPORT} --validate ${OUT}
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "trace_report.py --validate rejected ${OUT} (rc=${validate_rc})")
+endif()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <map>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "cache/lfu_policy.hpp"
 #include "cache/lru_policy.hpp"
 #include "core/pacm_policy.hpp"
+#include "core/trace_propagation.hpp"
 #include "core/url_hash.hpp"
 #include "http/origin_server.hpp"
 
@@ -79,6 +81,7 @@ ApRuntime::ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId 
                                                      tier, observer_);
     tiered_ = std::make_unique<store::TieredStore>(network_.simulator(), *data_cache_,
                                                    *flash_tier_);
+    tiered_->set_observer(observer_);
     // Mount: formatted media means this AP is restarting — replay the
     // journal so the flash tier comes back warm.
     if (options_.flash_media->formatted()) {
@@ -258,11 +261,35 @@ void ApRuntime::answer_with_ip(const dns::DnsMessage& query, const dns::DnsName&
   respond(std::move(resp));
 }
 
+obs::SpanLog* ApRuntime::spans() const {
+  return observer_ == nullptr ? nullptr : &observer_->spans();
+}
+
 void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*client*/,
                                  std::function<void(dns::DnsMessage)> respond) {
   auto view = extract_dns_cache(query);
+
+  // Causal tracing: a TraceCtx RR on the query parents every AP-side span
+  // under the client's dns.query span (DESIGN.md §5f).
+  obs::TraceContext lookup_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    const obs::TraceContext client_ctx = extract_trace_context(query);
+    if (client_ctx.valid() && !query.questions.empty()) {
+      lookup_span = log->open(client_ctx, "ap.lookup", "ap",
+                              query.questions.front().name.to_string(),
+                              network_.simulator().now());
+    }
+    if (lookup_span.valid()) {
+      respond = [this, lookup_span,
+                 respond = std::move(respond)](dns::DnsMessage msg) mutable {
+        spans()->close(lookup_span, network_.simulator().now());
+        respond(std::move(msg));
+      };
+    }
+  }
+
   if (!options_.enable_ape || !view || !view.value().is_request) {
-    handle_regular_dns(query, std::move(respond));
+    handle_regular_dns(query, lookup_span, std::move(respond));
     return;
   }
 
@@ -273,7 +300,7 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
   // time already paid in DnsServer::on_datagram.
   if (observer_ != nullptr) observer_->count("ap.dns.cache_queries");
   cpu_.submit(options_.config.cache_lookup_extra,
-              [this, query, domain, requested = view.value().entries,
+              [this, query, domain, lookup_span, requested = view.value().entries,
                respond = std::move(respond)]() mutable {
     const FlagSet flags = collect_flags(domain, requested);
     std::vector<dns::ResourceRecord> additionals;
@@ -304,9 +331,10 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
       return;
     }
 
-    resolve_upstream(domain, [this, query, domain, additionals = std::move(additionals),
-                              respond = std::move(respond)](
-                                 Result<DnsCacheEntry> resolved) mutable {
+    resolve_upstream(domain, lookup_span,
+                     [this, query, domain, additionals = std::move(additionals),
+                      respond = std::move(respond)](
+                         Result<DnsCacheEntry> resolved) mutable {
       if (!resolved) {
         dns::DnsMessage resp = dns::make_response_for(query, dns::Rcode::ServFail);
         resp.additionals = std::move(additionals);
@@ -326,6 +354,7 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
 }
 
 void ApRuntime::handle_regular_dns(const dns::DnsMessage& query,
+                                   const obs::TraceContext& parent,
                                    std::function<void(dns::DnsMessage)> respond) {
   if (query.questions.empty() || query.questions.front().qtype != dns::RrType::A) {
     respond(dns::make_response_for(query, dns::Rcode::NotImp));
@@ -333,8 +362,8 @@ void ApRuntime::handle_regular_dns(const dns::DnsMessage& query,
   }
   if (observer_ != nullptr) observer_->count("ap.dns.regular_queries");
   const dns::DnsName name = query.questions.front().name;
-  resolve_upstream(name, [this, query, name, respond = std::move(respond)](
-                             Result<DnsCacheEntry> resolved) mutable {
+  resolve_upstream(name, parent, [this, query, name, respond = std::move(respond)](
+                                     Result<DnsCacheEntry> resolved) mutable {
     if (!resolved) {
       respond(dns::make_response_for(query, dns::Rcode::ServFail));
       return;
@@ -346,7 +375,7 @@ void ApRuntime::handle_regular_dns(const dns::DnsMessage& query,
   });
 }
 
-void ApRuntime::resolve_upstream(const dns::DnsName& name,
+void ApRuntime::resolve_upstream(const dns::DnsName& name, const obs::TraceContext& parent,
                                  std::function<void(Result<DnsCacheEntry>)> done) {
   const sim::Time now = network_.simulator().now();
   if (auto it = dns_cache_.find(name); it != dns_cache_.end()) {
@@ -359,11 +388,19 @@ void ApRuntime::resolve_upstream(const dns::DnsName& name,
   }
 
   if (observer_ != nullptr) observer_->count("ap.dns.upstream_queries");
+  obs::TraceContext up_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    up_span = log->open(parent, "dns.upstream", "ap", name.to_string(), now);
+  }
   dns::DnsMessage q;
   q.header.rd = true;
   q.questions.push_back(dns::Question{name, dns::RrType::A, dns::RrClass::In});
   upstream_.query(options_.upstream_dns, std::move(q),
-                  [this, name, done = std::move(done)](Result<dns::DnsMessage> resp) mutable {
+                  [this, name, up_span,
+                   done = std::move(done)](Result<dns::DnsMessage> resp) mutable {
+                    if (obs::SpanLog* log = spans(); log != nullptr) {
+                      log->close(up_span, network_.simulator().now());
+                    }
                     if (!resp) {
                       done(make_error<DnsCacheEntry>(resp.error().message));
                       return;
@@ -471,6 +508,22 @@ void ApRuntime::handle_http(const http::HttpRequest& request,
   const std::string key = hash_to_string(hash);
   const sim::Time now = network_.simulator().now();
 
+  // Causal tracing: parent everything the AP does for this request under
+  // the client's http.fetch span (X-Ape-Trace header).
+  obs::TraceContext serve_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    if (const std::string* h = http::find_trace_context_header(request.headers)) {
+      serve_span = log->open(obs::decode_trace_context(*h), "ap.serve", "ap", base, now);
+    }
+    if (serve_span.valid()) {
+      respond = [this, serve_span,
+                 respond = std::move(respond)](http::HttpResponse resp) mutable {
+        spans()->close(serve_span, network_.simulator().now());
+        respond(std::move(resp));
+      };
+    }
+  }
+
   // Request frequency feeds PACM regardless of how the fetch resolves.
   if (const auto* app_header = http::find_header(request.headers, "X-Ape-App")) {
     freq_.record_request(static_cast<AppId>(std::stoul(*app_header)), now);
@@ -498,24 +551,26 @@ void ApRuntime::handle_http(const http::HttpRequest& request,
       observer_->count("ap.http.flash_serves");
       observer_->event(now, "ap", "flash_hit", key);
     }
+    obs::ScopedTraceContext ambient(spans(), serve_span);  // -> ap.flash.read
     tiered_->fetch_flash(
         key, now,
-        [this, request, hash, stale = std::move(stale), respond = std::move(respond)](
-            std::optional<cache::CacheEntry> entry) mutable {
+        [this, request, hash, serve_span, stale = std::move(stale),
+         respond = std::move(respond)](std::optional<cache::CacheEntry> entry) mutable {
           if (entry.has_value()) {
             serve_from_cache(*entry, std::move(respond));
             return;
           }
           // The copy vanished while the read was queued; treat as a miss.
-          finish_http_miss(request, hash, std::move(stale), std::move(respond));
+          finish_http_miss(request, hash, std::move(stale), serve_span, std::move(respond));
         });
     return;
   }
-  finish_http_miss(request, hash, std::move(stale), std::move(respond));
+  finish_http_miss(request, hash, std::move(stale), serve_span, std::move(respond));
 }
 
 void ApRuntime::finish_http_miss(const http::HttpRequest& request, UrlHash hash,
                                  std::optional<cache::CacheEntry> stale,
+                                 const obs::TraceContext& parent,
                                  http::HttpServer::Responder respond) {
   const bool is_delegation = http::find_header(request.headers, "X-Ape-Delegate") != nullptr;
   if (!is_delegation) {
@@ -529,7 +584,7 @@ void ApRuntime::finish_http_miss(const http::HttpRequest& request, UrlHash hash,
     respond(http::make_status_response(404, "not in AP cache"));
     return;
   }
-  delegate_fetch(request, hash, std::move(stale), std::move(respond));
+  delegate_fetch(request, hash, std::move(stale), parent, std::move(respond));
 }
 
 void ApRuntime::insert_object(cache::CacheEntry entry, sim::Time now) {
@@ -542,6 +597,7 @@ void ApRuntime::insert_object(cache::CacheEntry entry, sim::Time now) {
 
 void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
                                std::optional<cache::CacheEntry> stale,
+                               const obs::TraceContext& parent,
                                http::HttpServer::Responder respond) {
   // Delegation metadata shipped by the client library (Sec. IV-B2).
   std::uint32_t ttl_seconds = 600;
@@ -574,9 +630,22 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
     observer_->event(fetch_start, "ap", "delegate", base);
   }
 
-  resolve_upstream(info.domain, [this, request, hash, ttl_seconds, priority, app, fetch_start,
-                                 stale = std::move(stale), respond = std::move(respond)](
-                                    Result<DnsCacheEntry> resolved) mutable {
+  obs::TraceContext delegate_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    delegate_span = log->open(parent, "ap.delegate", "ap", base, fetch_start);
+    if (delegate_span.valid()) {
+      respond = [this, delegate_span,
+                 respond = std::move(respond)](http::HttpResponse resp) mutable {
+        spans()->close(delegate_span, network_.simulator().now());
+        respond(std::move(resp));
+      };
+    }
+  }
+
+  resolve_upstream(info.domain, delegate_span,
+                   [this, request, hash, ttl_seconds, priority, app, fetch_start,
+                    delegate_span, stale = std::move(stale), respond = std::move(respond)](
+                       Result<DnsCacheEntry> resolved) mutable {
     if (!resolved) {
       respond(http::make_status_response(502, "AP could not resolve origin"));
       return;
@@ -590,13 +659,25 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
     upstream_req.headers.emplace_back("X-Origin-Pull", "1");
     if (stale) upstream_req.headers.emplace_back("If-None-Match", stale->etag);
 
+    obs::SpanLog* log = spans();
+    obs::TraceContext fetch_span;
+    if (log != nullptr) {
+      fetch_span = log->open(delegate_span, "http.fetch", "ap", request.url.base(),
+                             network_.simulator().now());
+      if (fetch_span.valid()) {
+        http::set_trace_context_header(upstream_req.headers,
+                                       obs::encode_trace_context(fetch_span));
+      }
+    }
+    obs::ScopedTraceContext ambient(log, fetch_span);  // -> net.connect
     edge_client_.fetch(
         net::Endpoint{resolved.value().ip, net::kHttpPort}, std::move(upstream_req),
-        [this, request, hash, ttl_seconds, priority, app, fetch_start,
-         stale = std::move(stale), respond = std::move(respond)](
+        [this, request, hash, ttl_seconds, priority, app, fetch_start, delegate_span,
+         fetch_span, stale = std::move(stale), respond = std::move(respond)](
             Result<http::HttpResponse> result, http::FetchTiming) mutable {
           const sim::Time now = network_.simulator().now();
           const std::string key = hash_to_string(hash);
+          if (obs::SpanLog* slog = spans(); slog != nullptr) slog->close(fetch_span, now);
 
           if (result && result.value().status == 304 && stale) {
             // Not modified: refresh the stale entry's lifetime and serve it
@@ -614,7 +695,10 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
             }
             entry.expires = now + sim::seconds(ttl);
             const std::size_t size = entry.size_bytes;
-            insert_object(std::move(entry), now);
+            {
+              obs::ScopedTraceContext insert_ambient(spans(), delegate_span);
+              insert_object(std::move(entry), now);
+            }
             account_served_bytes(size);
 
             http::HttpResponse resp;
@@ -632,6 +716,21 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
           http::HttpResponse resp = std::move(result.value());
           const sim::Duration fetch_latency = now - fetch_start;
           const std::size_t size = resp.total_body_bytes();
+
+          // PACM prices a cached object with its last observed fetch
+          // latency l_d; compare that estimate against this measurement.
+          // Report-only and span-gated: default exports stay byte-identical.
+          if (obs::SpanLog* slog = spans(); slog != nullptr && slog->enabled()) {
+            if (auto info_it = url_index_.find(hash); info_it != url_index_.end()) {
+              const double measured_ms = sim::to_millis(fetch_latency);
+              if (info_it->second.last_fetch_ms >= 0.0) {
+                observer_->metrics()
+                    .histogram("pacm.latency_estimate_error_ms", "ms")
+                    .record(std::abs(measured_ms - info_it->second.last_fetch_ms));
+              }
+              info_it->second.last_fetch_ms = measured_ms;
+            }
+          }
 
           if (block_list_.should_block(size)) {
             // Too large to ever cache: remember that and stop delegating.
@@ -652,7 +751,10 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
             if (const auto* etag = http::find_header(resp.headers, "ETag")) {
               entry.etag = *etag;
             }
-            insert_object(std::move(entry), now);
+            {
+              obs::ScopedTraceContext insert_ambient(spans(), delegate_span);
+              insert_object(std::move(entry), now);
+            }
             if (observer_ != nullptr) {
               observer_->count("ap.cache.inserts");
               observer_->count("ap.delegation.bytes_fetched", size);

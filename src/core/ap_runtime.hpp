@@ -126,19 +126,28 @@ class ApRuntime {
     std::string base_url;  // learned at first delegation
     AppId app = 0;
     int priority = 1;
+    // Last measured delegated-fetch latency — PACM's l_d estimate for the
+    // next solve.  Compared against the next measurement to report the
+    // pacm.latency_estimate_error metric (span-gated, report-only).
+    double last_fetch_ms = -1.0;
   };
+
+  // Nullable span sink (null when no observer is attached).
+  [[nodiscard]] obs::SpanLog* spans() const;
 
   void handle_dns_query(const dns::DnsMessage& query, net::Endpoint client,
                         std::function<void(dns::DnsMessage)> respond);
-  void handle_regular_dns(const dns::DnsMessage& query,
+  void handle_regular_dns(const dns::DnsMessage& query, const obs::TraceContext& parent,
                           std::function<void(dns::DnsMessage)> respond);
   void answer_with_ip(const dns::DnsMessage& query, const dns::DnsName& name,
                       net::IpAddress ip, std::uint32_t ttl,
                       std::vector<dns::ResourceRecord> additionals,
                       std::function<void(dns::DnsMessage)> respond) const;
 
-  // Resolves `name` through the local record cache or upstream.
-  void resolve_upstream(const dns::DnsName& name,
+  // Resolves `name` through the local record cache or upstream.  A valid
+  // `parent` context parents a "dns.upstream" span over the real upstream
+  // round trip (record-cache hits stay span-free).
+  void resolve_upstream(const dns::DnsName& name, const obs::TraceContext& parent,
                         std::function<void(Result<DnsCacheEntry>)> done);
 
   // Builds the batched cache-status list for a domain.  `requested` are the
@@ -159,6 +168,7 @@ class ApRuntime {
   // fetches, delegation otherwise.
   void finish_http_miss(const http::HttpRequest& request, UrlHash hash,
                         std::optional<cache::CacheEntry> stale,
+                        const obs::TraceContext& parent,
                         http::HttpServer::Responder respond);
   void serve_from_cache(const cache::CacheEntry& entry,
                         http::HttpServer::Responder respond);
@@ -171,6 +181,7 @@ class ApRuntime {
   // refresh it with a conditional request instead of a full origin pull.
   void delegate_fetch(const http::HttpRequest& request, UrlHash hash,
                       std::optional<cache::CacheEntry> stale,
+                      const obs::TraceContext& parent,
                       http::HttpServer::Responder respond);
 
   net::Network& network_;

@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "core/trace_propagation.hpp"
+
 namespace ape::core {
 
 const char* to_string(ClientRuntime::Source source) noexcept {
@@ -34,8 +36,13 @@ const CacheableSpec* ClientRuntime::find_cacheable(const std::string& base_url) 
   return it == registry_.end() ? nullptr : &it->second;
 }
 
-dns::DnsMessage ClientRuntime::build_dns_cache_query(
-    const dns::DnsName& domain, const std::vector<UrlHash>& hashes) const {
+obs::SpanLog* ClientRuntime::spans() const {
+  return options_.observer == nullptr ? nullptr : &options_.observer->spans();
+}
+
+dns::DnsMessage ClientRuntime::build_dns_cache_query(const dns::DnsName& domain,
+                                                     const std::vector<UrlHash>& hashes,
+                                                     const obs::TraceContext& ctx) const {
   dns::DnsMessage query;
   query.header.rd = true;
   query.questions.push_back(dns::Question{domain, dns::RrType::A, dns::RrClass::In});
@@ -43,10 +50,15 @@ dns::DnsMessage ClientRuntime::build_dns_cache_query(
   entries.reserve(hashes.size());
   for (UrlHash h : hashes) entries.push_back(CacheLookupEntry{h, CacheFlag::Delegation});
   query.additionals.push_back(make_cache_request_rr(domain, entries));
+  if (ctx.valid()) query.additionals.push_back(make_trace_context_rr(domain, ctx));
   return query;
 }
 
-void ClientRuntime::finish(FetchHandler& handler, FetchResult result) {
+void ClientRuntime::finish(FetchHandler& handler, const obs::TraceContext& root,
+                           FetchResult result) {
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    log->close(root, network_.simulator().now());
+  }
   if (obs::Observer* obs = options_.observer; obs != nullptr) {
     obs::MetricsRegistry& m = obs->metrics();
     m.counter("client.fetches").add();
@@ -77,7 +89,7 @@ void ClientRuntime::fetch(const std::string& url, FetchHandler handler) {
   if (!parsed) {
     FetchResult r;
     r.error = "bad URL: " + parsed.error().message;
-    finish(handler, std::move(r));
+    finish(handler, {}, std::move(r));
     return;
   }
   const CacheableSpec* spec = find_cacheable(parsed.value().base());
@@ -89,6 +101,11 @@ void ClientRuntime::fetch(const std::string& url, FetchHandler handler) {
   const std::string host = parsed.value().host;
   const UrlHash hash = hash_url(parsed.value().base());
   const sim::Time start = network_.simulator().now();
+  obs::TraceContext root;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    root = log->open_root("client.request", "client", "app:" + std::to_string(spec->app),
+                          start);
+  }
 
   // Fresh flags from a previous DNS-Cache response for this domain?
   if (auto it = domains_.find(host); it != domains_.end()) {
@@ -98,7 +115,7 @@ void ClientRuntime::fetch(const std::string& url, FetchHandler handler) {
       // AP is always willing to fetch-and-cache an unseen object).
       const CacheFlag flag =
           flag_it == it->second.flags.end() ? CacheFlag::Delegation : flag_it->second;
-      dispatch(url, *spec, flag, it->second.ip, start, sim::Duration{0}, true,
+      dispatch(url, *spec, flag, it->second.ip, start, sim::Duration{0}, true, root,
                std::move(handler));
       return;
     }
@@ -109,22 +126,32 @@ void ClientRuntime::fetch(const std::string& url, FetchHandler handler) {
   if (!domain) {
     FetchResult r;
     r.error = "bad hostname";
-    finish(handler, std::move(r));
+    finish(handler, root, std::move(r));
     return;
   }
 
   network_.simulator().schedule_in(options_.dns_cache_build_cost, [this, url, spec, hash,
-                                                                   host, start,
+                                                                   host, start, root,
                                                                    domain = domain.value(),
                                                                    handler = std::move(
                                                                        handler)]() mutable {
-  dns_.query(options_.ap_dns, build_dns_cache_query(domain, {hash}),
-             [this, url, spec, hash, host, start, handler = std::move(handler)](
-                 Result<dns::DnsMessage> response) mutable {
+  obs::TraceContext dns_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    dns_span = log->open(root, "dns.query", "client", host, network_.simulator().now());
+  }
+  dns_.query(options_.ap_dns, build_dns_cache_query(domain, {hash}, dns_span),
+             [this, url, spec, hash, host, start, root, dns_span,
+              handler = std::move(handler)](Result<dns::DnsMessage> response) mutable {
+               if (obs::SpanLog* log = spans(); log != nullptr) {
+                 log->close(dns_span, network_.simulator().now());
+               }
                const sim::Duration lookup = network_.simulator().now() - start;
                if (!response) {
-                 // DNS-Cache lookup failed outright; degrade to the edge path.
-                 fetch_via_edge(url, std::move(handler));
+                 // DNS-Cache lookup failed outright; degrade to the edge
+                 // path (same trace root — the failed lookup stays part of
+                 // this request's critical path).
+                 resolve_and_fetch_edge(url, network_.simulator().now(), root,
+                                        std::move(handler));
                  return;
                }
 
@@ -151,25 +178,28 @@ void ClientRuntime::fetch(const std::string& url, FetchHandler handler) {
                  state.expires = network_.simulator().now() + sim::seconds(ttl);
                  domains_[host] = std::move(state);
                }
-               dispatch(url, *spec, flag, ip, start, lookup, false, std::move(handler));
+               dispatch(url, *spec, flag, ip, start, lookup, false, root,
+                        std::move(handler));
              });
   });
 }
 
 void ClientRuntime::dispatch(const std::string& url, const CacheableSpec& spec, CacheFlag flag,
                              net::IpAddress edge_ip, sim::Time start, sim::Duration lookup,
-                             bool lookup_cached, FetchHandler handler) {
+                             bool lookup_cached, const obs::TraceContext& root,
+                             FetchHandler handler) {
   switch (flag) {
     case CacheFlag::CacheHit:
       fetch_from_ap(url, spec, /*delegate=*/false, edge_ip, start, lookup, lookup_cached, flag,
-                    std::move(handler));
+                    root, std::move(handler));
       return;
     case CacheFlag::Delegation:
       fetch_from_ap(url, spec, /*delegate=*/true, edge_ip, start, lookup, lookup_cached, flag,
-                    std::move(handler));
+                    root, std::move(handler));
       return;
     case CacheFlag::CacheMiss:
-      fetch_from_edge(url, edge_ip, start, lookup, lookup_cached, flag, std::move(handler));
+      fetch_from_edge(url, edge_ip, start, lookup, lookup_cached, flag, root,
+                      std::move(handler));
       return;
   }
 }
@@ -177,7 +207,7 @@ void ClientRuntime::dispatch(const std::string& url, const CacheableSpec& spec, 
 void ClientRuntime::fetch_from_ap(const std::string& url, const CacheableSpec& spec,
                                   bool delegate, net::IpAddress edge_ip, sim::Time start,
                                   sim::Duration lookup, bool lookup_cached, CacheFlag flag,
-                                  FetchHandler handler) {
+                                  const obs::TraceContext& root, FetchHandler handler) {
   auto parsed = http::Url::parse(url);
   http::HttpRequest req;
   req.url = std::move(parsed.value());
@@ -189,16 +219,26 @@ void ClientRuntime::fetch_from_ap(const std::string& url, const CacheableSpec& s
   }
 
   const sim::Time fetch_start = network_.simulator().now();
+  obs::SpanLog* log = spans();
+  obs::TraceContext fetch_span;
+  if (log != nullptr) {
+    fetch_span = log->open(root, "http.fetch", "client", url, fetch_start);
+    if (fetch_span.valid()) {
+      http::set_trace_context_header(req.headers, obs::encode_trace_context(fetch_span));
+    }
+  }
+  obs::ScopedTraceContext ambient(log, fetch_span);
   http_.fetch(
       net::Endpoint{options_.ap_ip, net::kHttpPort}, std::move(req),
-      [this, url, edge_ip, start, lookup, lookup_cached, flag, delegate, fetch_start,
-       handler = std::move(handler)](Result<http::HttpResponse> result,
-                                     http::FetchTiming) mutable {
+      [this, url, edge_ip, start, lookup, lookup_cached, flag, delegate, fetch_start, root,
+       fetch_span, handler = std::move(handler)](Result<http::HttpResponse> result,
+                                                 http::FetchTiming) mutable {
         const sim::Time now = network_.simulator().now();
+        if (obs::SpanLog* slog = spans(); slog != nullptr) slog->close(fetch_span, now);
         if (!result || !result.value().ok()) {
           // Lookup/fetch race (evicted or expired in between), or the AP's
           // delegated fetch failed: fall back to the edge.
-          fetch_from_edge(url, edge_ip, start, lookup, lookup_cached, flag,
+          fetch_from_edge(url, edge_ip, start, lookup, lookup_cached, flag, root,
                           std::move(handler));
           return;
         }
@@ -217,13 +257,14 @@ void ClientRuntime::fetch_from_ap(const std::string& url, const CacheableSpec& s
         r.retrieval_latency = now - fetch_start;
         r.total = now - start;
         r.bytes = result.value().total_body_bytes();
-        finish(handler, std::move(r));
+        finish(handler, root, std::move(r));
       });
 }
 
 void ClientRuntime::fetch_from_edge(const std::string& url, net::IpAddress edge_ip,
                                     sim::Time start, sim::Duration lookup, bool lookup_cached,
-                                    CacheFlag flag, FetchHandler handler) {
+                                    CacheFlag flag, const obs::TraceContext& root,
+                                    FetchHandler handler) {
   if (edge_ip == net::kDummyIp || edge_ip.is_unspecified()) {
     // We never learned a real edge address (dummy-IP short circuit):
     // resolve regularly, then fetch.
@@ -231,32 +272,43 @@ void ClientRuntime::fetch_from_edge(const std::string& url, net::IpAddress edge_
     if (!parsed) {
       FetchResult r;
       r.error = "bad URL";
-      finish(handler, std::move(r));
+      finish(handler, root, std::move(r));
       return;
     }
     auto domain = dns::DnsName::parse(parsed.value().host);
     dns::DnsMessage query;
     query.header.rd = true;
     query.questions.push_back(dns::Question{domain.value(), dns::RrType::A, dns::RrClass::In});
+    obs::TraceContext dns_span;
+    if (obs::SpanLog* log = spans(); log != nullptr) {
+      dns_span = log->open(root, "dns.query", "client", parsed.value().host,
+                           network_.simulator().now());
+      if (dns_span.valid()) {
+        query.additionals.push_back(make_trace_context_rr(domain.value(), dns_span));
+      }
+    }
     dns_.query(options_.ap_dns, std::move(query),
-               [this, url, domain = domain.value(), start, lookup, lookup_cached, flag,
-                handler = std::move(handler)](Result<dns::DnsMessage> response) mutable {
+               [this, url, domain = domain.value(), start, lookup, lookup_cached, flag, root,
+                dns_span, handler = std::move(handler)](Result<dns::DnsMessage> response) mutable {
+                 if (obs::SpanLog* log = spans(); log != nullptr) {
+                   log->close(dns_span, network_.simulator().now());
+                 }
                  if (!response) {
                    FetchResult r;
                    r.error = "edge re-resolution failed: " + response.error().message;
-                   finish(handler, std::move(r));
+                   finish(handler, root, std::move(r));
                    return;
                  }
                  auto addr = dns::StubResolver::extract_address(response.value(), domain);
                  if (!addr) {
                    FetchResult r;
                    r.error = "edge re-resolution: " + addr.error().message;
-                   finish(handler, std::move(r));
+                   finish(handler, root, std::move(r));
                    return;
                  }
                  fetch_from_edge(url, addr.value().address, start,
                                  network_.simulator().now() - start, lookup_cached, flag,
-                                 std::move(handler));
+                                 root, std::move(handler));
                });
     return;
   }
@@ -265,11 +317,23 @@ void ClientRuntime::fetch_from_edge(const std::string& url, net::IpAddress edge_
   http::HttpRequest req;
   req.url = std::move(parsed.value());
   const sim::Time fetch_start = network_.simulator().now();
+  obs::SpanLog* log = spans();
+  obs::TraceContext fetch_span;
+  if (log != nullptr) {
+    fetch_span = log->open(root, "http.fetch", "client", url, fetch_start);
+    if (fetch_span.valid()) {
+      http::set_trace_context_header(req.headers, obs::encode_trace_context(fetch_span));
+    }
+  }
+  obs::ScopedTraceContext ambient(log, fetch_span);
   http_.fetch(net::Endpoint{edge_ip, net::kHttpPort}, std::move(req),
-              [this, start, lookup, lookup_cached, flag, fetch_start,
+              [this, start, lookup, lookup_cached, flag, fetch_start, root, fetch_span,
                handler = std::move(handler)](Result<http::HttpResponse> result,
                                              http::FetchTiming) mutable {
                 const sim::Time now = network_.simulator().now();
+                if (obs::SpanLog* slog = spans(); slog != nullptr) {
+                  slog->close(fetch_span, now);
+                }
                 FetchResult r;
                 r.flag = flag;
                 r.lookup_from_cache = lookup_cached;
@@ -285,39 +349,60 @@ void ClientRuntime::fetch_from_edge(const std::string& url, net::IpAddress edge_
                   r.source = Source::EdgeServer;
                   r.bytes = result.value().total_body_bytes();
                 }
-                finish(handler, std::move(r));
+                finish(handler, root, std::move(r));
               });
 }
 
 void ClientRuntime::fetch_via_edge(const std::string& url, FetchHandler handler) {
+  const sim::Time start = network_.simulator().now();
+  obs::TraceContext root;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    root = log->open_root("client.request", "client", url, start);
+  }
+  resolve_and_fetch_edge(url, start, root, std::move(handler));
+}
+
+void ClientRuntime::resolve_and_fetch_edge(const std::string& url, sim::Time start,
+                                           const obs::TraceContext& root,
+                                           FetchHandler handler) {
   const auto parsed = http::Url::parse(url);
   if (!parsed) {
     FetchResult r;
     r.error = "bad URL: " + parsed.error().message;
-    finish(handler, std::move(r));
+    finish(handler, root, std::move(r));
     return;
   }
-  const sim::Time start = network_.simulator().now();
   auto domain = dns::DnsName::parse(parsed.value().host);
   if (!domain) {
     FetchResult r;
     r.error = "bad hostname";
-    finish(handler, std::move(r));
+    finish(handler, root, std::move(r));
     return;
   }
 
   dns::DnsMessage query;
   query.header.rd = true;
   query.questions.push_back(dns::Question{domain.value(), dns::RrType::A, dns::RrClass::In});
+  obs::TraceContext dns_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    dns_span = log->open(root, "dns.query", "client", parsed.value().host,
+                         network_.simulator().now());
+    if (dns_span.valid()) {
+      query.additionals.push_back(make_trace_context_rr(domain.value(), dns_span));
+    }
+  }
   dns_.query(options_.ap_dns, std::move(query),
-             [this, url, domain = domain.value(), start, handler = std::move(handler)](
-                 Result<dns::DnsMessage> response) mutable {
+             [this, url, domain = domain.value(), start, root, dns_span,
+              handler = std::move(handler)](Result<dns::DnsMessage> response) mutable {
+               if (obs::SpanLog* log = spans(); log != nullptr) {
+                 log->close(dns_span, network_.simulator().now());
+               }
                const sim::Duration lookup = network_.simulator().now() - start;
                if (!response) {
                  FetchResult r;
                  r.lookup_latency = lookup;
                  r.error = "DNS failed: " + response.error().message;
-                 finish(handler, std::move(r));
+                 finish(handler, root, std::move(r));
                  return;
                }
                auto addr = dns::StubResolver::extract_address(response.value(), domain);
@@ -325,11 +410,11 @@ void ClientRuntime::fetch_via_edge(const std::string& url, FetchHandler handler)
                  FetchResult r;
                  r.lookup_latency = lookup;
                  r.error = "DNS: " + addr.error().message;
-                 finish(handler, std::move(r));
+                 finish(handler, root, std::move(r));
                  return;
                }
                fetch_from_edge(url, addr.value().address, start, lookup, false,
-                               CacheFlag::CacheMiss, std::move(handler));
+                               CacheFlag::CacheMiss, root, std::move(handler));
              });
 }
 
@@ -340,7 +425,7 @@ void ClientRuntime::fetch_standalone(const std::string& url, FetchHandler handle
   if (!parsed) {
     FetchResult r;
     r.error = "bad URL: " + parsed.error().message;
-    finish(handler, std::move(r));
+    finish(handler, {}, std::move(r));
     return;
   }
   const CacheableSpec* spec = find_cacheable(parsed.value().base());
@@ -352,14 +437,29 @@ void ClientRuntime::fetch_standalone(const std::string& url, FetchHandler handle
   const UrlHash hash = hash_url(parsed.value().base());
   const sim::Time start = network_.simulator().now();
   auto domain = dns::DnsName::parse(host).value();
+  obs::TraceContext root;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    root = log->open_root("client.request", "client", "app:" + std::to_string(spec->app),
+                          start);
+  }
 
   dns::DnsMessage plain;
   plain.header.rd = true;
   plain.questions.push_back(dns::Question{domain, dns::RrType::A, dns::RrClass::In});
+  obs::TraceContext first_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    first_span = log->open(root, "dns.query", "client", host, start);
+    if (first_span.valid()) {
+      plain.additionals.push_back(make_trace_context_rr(domain, first_span));
+    }
+  }
   dns_.query(
       options_.ap_dns, std::move(plain),
-      [this, url, spec, hash, domain, start, handler = std::move(handler)](
-          Result<dns::DnsMessage> first) mutable {
+      [this, url, spec, hash, host, domain, start, root, first_span,
+       handler = std::move(handler)](Result<dns::DnsMessage> first) mutable {
+        if (obs::SpanLog* log = spans(); log != nullptr) {
+          log->close(first_span, network_.simulator().now());
+        }
         net::IpAddress ip = net::kDummyIp;
         if (first) {
           if (auto addr = dns::StubResolver::extract_address(first.value(), domain)) {
@@ -367,9 +467,17 @@ void ClientRuntime::fetch_standalone(const std::string& url, FetchHandler handle
           }
         }
         // Second, standalone cache query.
-        dns_.query(options_.ap_dns, build_dns_cache_query(domain, {hash}),
-                   [this, url, spec, hash, ip, start, handler = std::move(handler)](
-                       Result<dns::DnsMessage> second) mutable {
+        obs::TraceContext second_span;
+        if (obs::SpanLog* log = spans(); log != nullptr) {
+          second_span =
+              log->open(root, "dns.query", "client", host, network_.simulator().now());
+        }
+        dns_.query(options_.ap_dns, build_dns_cache_query(domain, {hash}, second_span),
+                   [this, url, spec, hash, ip, start, root, second_span,
+                    handler = std::move(handler)](Result<dns::DnsMessage> second) mutable {
+                     if (obs::SpanLog* log = spans(); log != nullptr) {
+                       log->close(second_span, network_.simulator().now());
+                     }
                      const sim::Duration lookup = network_.simulator().now() - start;
                      CacheFlag flag = CacheFlag::Delegation;
                      if (second) {
@@ -380,7 +488,8 @@ void ClientRuntime::fetch_standalone(const std::string& url, FetchHandler handle
                          }
                        }
                      }
-                     dispatch(url, *spec, flag, ip, start, lookup, false, std::move(handler));
+                     dispatch(url, *spec, flag, ip, start, lookup, false, root,
+                              std::move(handler));
                    });
       });
 }

@@ -114,17 +114,27 @@ class ClientRuntime {
 
   void dispatch(const std::string& url, const CacheableSpec& spec, CacheFlag flag,
                 net::IpAddress edge_ip, sim::Time start, sim::Duration lookup,
-                bool lookup_cached, FetchHandler handler);
+                bool lookup_cached, const obs::TraceContext& root, FetchHandler handler);
   void fetch_from_ap(const std::string& url, const CacheableSpec& spec, bool delegate,
                      net::IpAddress edge_ip, sim::Time start, sim::Duration lookup,
-                     bool lookup_cached, CacheFlag flag, FetchHandler handler);
+                     bool lookup_cached, CacheFlag flag, const obs::TraceContext& root,
+                     FetchHandler handler);
   void fetch_from_edge(const std::string& url, net::IpAddress edge_ip, sim::Time start,
                        sim::Duration lookup, bool lookup_cached, CacheFlag flag,
-                       FetchHandler handler);
-  void finish(FetchHandler& handler, FetchResult result);
+                       const obs::TraceContext& root, FetchHandler handler);
+  // Regular DNS + edge HTTP under an existing trace root (shared by
+  // fetch_via_edge and fetch()'s DNS-Cache-failure fallback, so the
+  // fallback stays inside the request's original trace).
+  void resolve_and_fetch_edge(const std::string& url, sim::Time start,
+                              const obs::TraceContext& root, FetchHandler handler);
+  void finish(FetchHandler& handler, const obs::TraceContext& root, FetchResult result);
+
+  // Nullable span sink (null when no observer is attached).
+  [[nodiscard]] obs::SpanLog* spans() const;
 
   [[nodiscard]] dns::DnsMessage build_dns_cache_query(const dns::DnsName& domain,
-                                                      const std::vector<UrlHash>& hashes) const;
+                                                      const std::vector<UrlHash>& hashes,
+                                                      const obs::TraceContext& ctx = {}) const;
 
   net::Network& network_;
   net::TcpTransport& tcp_;

@@ -23,6 +23,15 @@ std::optional<std::vector<std::string>> PacmPolicy::select_victims(
   ++invocations_;
   const sim::Time now = clock_.now();
 
+  // Causal tracing: the solve runs synchronously inside an insert, so the
+  // inserting hop's span is on the ambient stack.  Zero sim-time duration —
+  // the span marks *where* on the critical path the solve happened.
+  obs::TraceContext solve_span;
+  if (observer_ != nullptr) {
+    obs::SpanLog& log = observer_->spans();
+    solve_span = log.open(log.current_context(), "pacm.solve", "pacm", incoming.key, now);
+  }
+
   std::vector<PacmObject> cached;
   // Ordered: the frequency vector below is handed to the solver, and its
   // order must not depend on hash-set iteration.
@@ -55,6 +64,7 @@ std::optional<std::vector<std::string>> PacmPolicy::select_victims(
   // always frees at least `bytes_needed`.
   last_ = solver_.select_evictions(cached, incoming.size_bytes, frequencies);
   if (observer_ != nullptr) {
+    observer_->spans().close(solve_span, now);
     observer_->event(now, "pacm", "solve", incoming.key,
                      (last_.exact ? "exact" : "greedy") + std::string(" rounds=") +
                          std::to_string(last_.repair_rounds) +

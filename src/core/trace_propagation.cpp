@@ -1,0 +1,33 @@
+#include "core/trace_propagation.hpp"
+
+#include "dns/codec.hpp"
+
+namespace ape::core {
+
+dns::ResourceRecord make_trace_context_rr(const dns::DnsName& name,
+                                          const obs::TraceContext& ctx) {
+  dns::ByteWriter w;
+  w.u64(ctx.trace);
+  w.u64(ctx.span);
+
+  dns::ResourceRecord rr;
+  rr.name = name;
+  rr.type = dns::RrType::TraceCtx;
+  rr.rr_class = static_cast<std::uint16_t>(dns::RrClass::In);
+  rr.ttl = 0;  // a trace context is bound to one request; never cache it
+  rr.rdata = std::move(w).take();
+  return rr;
+}
+
+obs::TraceContext extract_trace_context(const dns::DnsMessage& message) {
+  const dns::ResourceRecord* rr = message.find_additional(dns::RrType::TraceCtx);
+  if (rr == nullptr) return {};
+
+  dns::ByteReader r(rr->rdata);
+  auto trace = r.u64();
+  auto span = r.u64();
+  if (!trace || !span) return {};
+  return obs::TraceContext{trace.value(), span.value()};
+}
+
+}  // namespace ape::core

@@ -1,0 +1,31 @@
+// Trace-context propagation over DNS (DESIGN.md §5f).
+//
+// The HTTP leg of a traced request carries its context in the X-Ape-Trace
+// header (http/message.hpp); the DNS leg uses a companion resource record:
+//
+//   <NAME>      hostname the query is about (matches the question)
+//   <TYPE>      301 (RrType::TraceCtx)
+//   <CLASS>     IN
+//   <RDLENGTH>  16
+//   <RDATA>     <TRACE ID : 8 bytes big-endian><SPAN ID : 8 bytes big-endian>
+//
+// The record rides the Additional section of the client's query so the AP
+// can parent its lookup spans under the client's dns.query span.  Like the
+// DNS-Cache RR it is an APE extension a stock resolver ignores — and it is
+// only ever attached when span tracing is enabled, because the extra RR is
+// real wire bytes that would otherwise shift simulated timings.
+#pragma once
+
+#include "dns/message.hpp"
+#include "obs/span.hpp"
+
+namespace ape::core {
+
+[[nodiscard]] dns::ResourceRecord make_trace_context_rr(const dns::DnsName& name,
+                                                        const obs::TraceContext& ctx);
+
+// Pulls the trace context out of a message's Additional section; an
+// invalid (null) context when absent or malformed.
+[[nodiscard]] obs::TraceContext extract_trace_context(const dns::DnsMessage& message);
+
+}  // namespace ape::core

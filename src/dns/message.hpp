@@ -24,6 +24,7 @@ enum class RrType : std::uint16_t {
   Aaaa = 28,
   Opt = 41,      // EDNS(0), RFC 6891
   DnsCache = 300,  // APE-CACHE cache-lookup RR (paper Fig. 8)
+  TraceCtx = 301,  // APE-CACHE causal-trace context (DESIGN.md §5f; opt-in)
 };
 
 enum class RrClass : std::uint16_t {

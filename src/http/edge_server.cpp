@@ -18,8 +18,27 @@ void EdgeCacheServer::host(ObjectSpec spec) {
   catalog_.add(std::move(spec));
 }
 
+obs::SpanLog* EdgeCacheServer::spans() const {
+  return observer_ == nullptr ? nullptr : &observer_->spans();
+}
+
 void EdgeCacheServer::handle(const HttpRequest& request, HttpServer::Responder respond) {
   const std::string base = request.url.base();
+
+  obs::TraceContext serve_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    if (const std::string* h = find_trace_context_header(request.headers)) {
+      serve_span =
+          log->open(obs::decode_trace_context(*h), "edge.serve", "edge", base, sim_.now());
+    }
+    if (serve_span.valid()) {
+      respond = [this, serve_span, respond = std::move(respond)](HttpResponse resp) mutable {
+        spans()->close(serve_span, sim_.now());
+        respond(std::move(resp));
+      };
+    }
+  }
+
   if (const ObjectSpec* spec = catalog_.find(base); spec != nullptr) {
     ++hits_;
     // Conditional request with a matching validator: 304, no body, and no
@@ -35,7 +54,14 @@ void EdgeCacheServer::handle(const HttpRequest& request, HttpServer::Responder r
     }
     const bool origin_pull = find_header(request.headers, "X-Origin-Pull") != nullptr;
     const sim::Duration delay = origin_pull ? spec->extra_latency : sim::Duration{0};
-    sim_.schedule_in(delay, [spec, respond = std::move(respond)] {
+    // The modeled origin fetch behind the edge is the origin.serve span: it
+    // is where a cache-fill pull's backend latency is actually spent.
+    obs::TraceContext pull_span;
+    if (obs::SpanLog* log = spans(); log != nullptr && origin_pull) {
+      pull_span = log->open(serve_span, "origin.serve", "origin", base, sim_.now());
+    }
+    sim_.schedule_in(delay, [this, spec, pull_span, respond = std::move(respond)] {
+      if (obs::SpanLog* log = spans(); log != nullptr) log->close(pull_span, sim_.now());
       respond(make_object_response(*spec, true));
     });
     return;
@@ -49,9 +75,23 @@ void EdgeCacheServer::handle(const HttpRequest& request, HttpServer::Responder r
 
   // Rewrite the request toward the origin, keep the path identity.
   HttpRequest upstream_req = request;
+  obs::SpanLog* log = spans();
+  obs::TraceContext fetch_span;
+  if (log != nullptr) {
+    fetch_span = log->open(serve_span, "http.fetch", "edge", base, sim_.now());
+    if (fetch_span.valid()) {
+      // Replace, never forward: the origin must parent under *this* hop.
+      set_trace_context_header(upstream_req.headers, obs::encode_trace_context(fetch_span));
+    }
+  }
+  obs::ScopedTraceContext ambient(log, fetch_span);  // -> net.connect
   upstream_client_.fetch(*upstream_, std::move(upstream_req),
-                         [this, base, respond = std::move(respond)](Result<HttpResponse> result,
-                                                                    FetchTiming) mutable {
+                         [this, base, fetch_span,
+                          respond = std::move(respond)](Result<HttpResponse> result,
+                                                        FetchTiming) mutable {
+                           if (obs::SpanLog* slog = spans(); slog != nullptr) {
+                             slog->close(fetch_span, sim_.now());
+                           }
                            if (!result || !result.value().ok()) {
                              respond(make_status_response(502, "origin fetch failed"));
                              return;

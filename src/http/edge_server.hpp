@@ -13,6 +13,7 @@
 #pragma once
 
 #include "http/origin_server.hpp"
+#include "obs/observer.hpp"
 
 namespace ape::http {
 
@@ -25,6 +26,9 @@ class EdgeCacheServer {
   void host(ObjectSpec spec);
   // Optional origin for misses.
   void set_upstream(net::Endpoint origin) noexcept { upstream_ = origin; }
+  // Nullable span sink: edge.serve / origin.serve / http.fetch spans are
+  // parented under the X-Ape-Trace context of the inbound request.
+  void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
 
   [[nodiscard]] const ObjectCatalog& catalog() const noexcept { return catalog_; }
   [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
@@ -33,12 +37,14 @@ class EdgeCacheServer {
 
  private:
   void handle(const HttpRequest& request, HttpServer::Responder respond);
+  [[nodiscard]] obs::SpanLog* spans() const;
 
   HttpServer server_;
   HttpClient upstream_client_;
   ObjectCatalog catalog_;
   std::optional<net::Endpoint> upstream_;
   sim::Simulator& sim_;
+  obs::Observer* observer_ = nullptr;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

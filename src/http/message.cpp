@@ -85,6 +85,20 @@ const std::string* find_header(const Headers& headers, const std::string& name) 
   return nullptr;
 }
 
+void set_trace_context_header(Headers& headers, const std::string& encoded) {
+  for (auto& [k, v] : headers) {
+    if (iequals(k, kTraceContextHeader)) {
+      v = encoded;
+      return;
+    }
+  }
+  headers.emplace_back(kTraceContextHeader, encoded);
+}
+
+const std::string* find_trace_context_header(const Headers& headers) {
+  return find_header(headers, kTraceContextHeader);
+}
+
 net::TcpMessage HttpRequest::to_tcp() const {
   Headers with_host = headers;
   if (find_header(with_host, "Host") == nullptr) {

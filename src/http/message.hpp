@@ -21,6 +21,16 @@ using Headers = std::vector<std::pair<std::string, std::string>>;
 
 [[nodiscard]] const std::string* find_header(const Headers& headers, const std::string& name);
 
+// Causal-trace context carrier (DESIGN.md §5f).  The header is real wire
+// bytes, so callers must only set it when span tracing is enabled — the
+// gate that keeps default runs byte-identical.
+inline constexpr const char* kTraceContextHeader = "X-Ape-Trace";
+
+// Replaces any existing trace-context header (a forwarder re-parents the
+// propagated context under its own span, never passes the inbound one on).
+void set_trace_context_header(Headers& headers, const std::string& encoded);
+[[nodiscard]] const std::string* find_trace_context_header(const Headers& headers);
+
 struct HttpRequest {
   std::string method = "GET";
   Url url;

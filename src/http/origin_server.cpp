@@ -48,15 +48,28 @@ OriginServer::OriginServer(net::TcpTransport& tcp, net::NodeId node, sim::Servic
   });
 }
 
+obs::SpanLog* OriginServer::spans() const {
+  return observer_ == nullptr ? nullptr : &observer_->spans();
+}
+
 void OriginServer::handle(const HttpRequest& request, HttpServer::Responder respond) {
   const ObjectSpec* spec = catalog_.find(request.url.base());
   if (spec == nullptr) {
     respond(make_status_response(404, "unknown object"));
     return;
   }
+  obs::TraceContext serve_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    if (const std::string* h = find_trace_context_header(request.headers)) {
+      serve_span = log->open(obs::decode_trace_context(*h), "origin.serve", "origin",
+                             request.url.base(), sim_.now());
+    }
+  }
   // The extra latency models backend work / upstream distance; it delays
   // the response without occupying this node's CPU.
-  sim_.schedule_in(spec->extra_latency, [spec, respond = std::move(respond)] {
+  sim_.schedule_in(spec->extra_latency, [this, spec, serve_span,
+                                         respond = std::move(respond)] {
+    if (obs::SpanLog* log = spans(); log != nullptr) log->close(serve_span, sim_.now());
     respond(make_object_response(*spec, false));
   });
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "http/endpoint.hpp"
+#include "obs/observer.hpp"
 
 namespace ape::http {
 
@@ -48,13 +49,18 @@ class OriginServer {
   [[nodiscard]] ObjectCatalog& catalog() noexcept { return catalog_; }
   [[nodiscard]] const ObjectCatalog& catalog() const noexcept { return catalog_; }
   [[nodiscard]] std::size_t requests_served() const noexcept { return server_.requests_served(); }
+  // Nullable span sink: origin.serve spans parent under the inbound
+  // X-Ape-Trace context.
+  void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
 
  private:
   void handle(const HttpRequest& request, HttpServer::Responder respond);
+  [[nodiscard]] obs::SpanLog* spans() const;
 
   HttpServer server_;
   ObjectCatalog catalog_;
   sim::Simulator& sim_;
+  obs::Observer* observer_ = nullptr;
 };
 
 // Builds the standard 200 response for a catalog object.

@@ -20,6 +20,7 @@
 
 #include "common/result.hpp"
 #include "net/network.hpp"
+#include "obs/observer.hpp"
 
 namespace ape::net {
 
@@ -93,6 +94,10 @@ class TcpTransport {
 
   void set_connect_timeout(sim::Duration timeout) noexcept { connect_timeout_ = timeout; }
 
+  // Nullable span sink: connect() records a "net.connect" span parented on
+  // the ambient trace context (pushed by the caller around its fetch).
+  void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
+
   // Live connections where `node` is the server side — a memory-model input
   // (per-connection socket state on the AP).
   [[nodiscard]] std::size_t server_connection_count(NodeId node) const;
@@ -114,12 +119,16 @@ class TcpTransport {
   void route_request(TcpConnection& conn, TcpMessage request,
                      TcpConnection::ResponseHandler on_response);
   void on_connection_closed(const TcpConnection& conn);
+  [[nodiscard]] obs::SpanLog* spans() const {
+    return observer_ == nullptr ? nullptr : &observer_->spans();
+  }
 
   [[nodiscard]] std::uint64_t listen_key(NodeId node, Port port) const noexcept {
     return (std::uint64_t{node.value} << 16) | port;
   }
 
   Network& network_;
+  obs::Observer* observer_ = nullptr;
   sim::Duration connect_timeout_ = sim::milliseconds(3000);
   std::unordered_map<std::uint64_t, TcpRequestHandler> listeners_;
   std::unordered_map<NodeId, std::size_t> server_conn_count_;

@@ -75,7 +75,7 @@ std::string json_escape(const std::string& raw) {
 }
 
 void write_json(std::ostream& out, const MetricsRegistry& registry, const TraceLog* trace,
-                const ExportOptions& options) {
+                const ExportOptions& options, const SpanLog* spans) {
   const auto stable = [](const auto& entry) {
     return entry.volatility == Volatility::Stable;
   };
@@ -139,13 +139,30 @@ void write_json(std::ostream& out, const MetricsRegistry& registry, const TraceL
     out << "]}";
   }
 
+  if (options.include_spans && spans != nullptr) {
+    out << ",\"spans\":{\"capacity\":" << spans->capacity()
+        << ",\"recorded\":" << spans->recorded() << ",\"dropped\":" << spans->dropped()
+        << ",\"open\":" << spans->open_count() << ",\"spans\":[";
+    first = true;
+    for (const Span& span : spans->spans()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"trace\":" << span.trace << ",\"span\":" << span.id
+          << ",\"parent\":" << span.parent << ",\"name\":\"" << json_escape(span.name)
+          << "\",\"component\":\"" << json_escape(span.component) << "\",\"key\":\""
+          << json_escape(span.key) << "\",\"start_us\":" << span.start.since_epoch.count()
+          << ",\"end_us\":" << span.end.since_epoch.count() << "}";
+    }
+    out << "]}";
+  }
+
   out << "}\n";
 }
 
 std::string to_json(const MetricsRegistry& registry, const TraceLog* trace,
-                    const ExportOptions& options) {
+                    const ExportOptions& options, const SpanLog* spans) {
   std::ostringstream os;
-  write_json(os, registry, trace, options);
+  write_json(os, registry, trace, options, spans);
   return os.str();
 }
 
@@ -171,10 +188,11 @@ void write_csv(std::ostream& out, const MetricsRegistry& registry, bool include_
 }
 
 bool write_json_file(const std::string& path, const MetricsRegistry& registry,
-                     const TraceLog* trace, const ExportOptions& options) {
+                     const TraceLog* trace, const ExportOptions& options,
+                     const SpanLog* spans) {
   std::ofstream file(path);
   if (!file) return false;
-  write_json(file, registry, trace, options);
+  write_json(file, registry, trace, options, spans);
   return static_cast<bool>(file);
 }
 

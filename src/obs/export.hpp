@@ -17,8 +17,18 @@
 //     "trace":      { "capacity": <n>, "recorded": <n>, "dropped": <n>,
 //                     "events": [{"t_us": <int>, "component": "...",
 //                                 "kind": "...", "key": "...",
-//                                 "detail": "..."}, ...] }      // opt-in
+//                                 "detail": "..."}, ...] },     // opt-in
+//     "spans":      { "capacity": <n>, "recorded": <n>, "dropped": <n>,
+//                     "open": <n>,
+//                     "spans": [{"trace": <id>, "span": <id>,
+//                                "parent": <id>, "name": "...",
+//                                "component": "...", "key": "...",
+//                                "start_us": <int>, "end_us": <int>}, ...] }  // opt-in
 //   }
+//
+// The drop counts in "trace"/"spans" exist so a truncated log is never
+// silently read as complete: consumers must treat dropped > 0 as "tail
+// missing" (spans drop newest-first, so recorded traces stay consistent).
 //
 // Doubles are rendered with std::to_chars (shortest round-trip form), so a
 // deterministic run exports a byte-identical file.  Wall-clock instruments
@@ -31,6 +41,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span_log.hpp"
 #include "obs/trace.hpp"
 
 namespace ape::obs {
@@ -39,14 +50,17 @@ struct ExportOptions {
   std::map<std::string, std::string> meta;  // run identity (bench name, ...)
   bool include_volatile = false;
   bool include_trace = false;
+  bool include_spans = false;
 };
 
 void write_json(std::ostream& out, const MetricsRegistry& registry,
-                const TraceLog* trace = nullptr, const ExportOptions& options = {});
+                const TraceLog* trace = nullptr, const ExportOptions& options = {},
+                const SpanLog* spans = nullptr);
 
 [[nodiscard]] std::string to_json(const MetricsRegistry& registry,
                                   const TraceLog* trace = nullptr,
-                                  const ExportOptions& options = {});
+                                  const ExportOptions& options = {},
+                                  const SpanLog* spans = nullptr);
 
 // Flat rows `name,kind,field,value` (kind in {counter, gauge, histogram}),
 // one line per scalar — trivially ingestible by spreadsheets / pandas.
@@ -56,7 +70,8 @@ void write_csv(std::ostream& out, const MetricsRegistry& registry,
 // Writes the JSON snapshot to `path`; returns false when the file cannot
 // be opened.
 bool write_json_file(const std::string& path, const MetricsRegistry& registry,
-                     const TraceLog* trace = nullptr, const ExportOptions& options = {});
+                     const TraceLog* trace = nullptr, const ExportOptions& options = {},
+                     const SpanLog* spans = nullptr);
 
 // Deterministic shortest-round-trip rendering ("0.5", not "5.000000e-01");
 // NaN/Inf degrade to 0 (JSON has no representation for them).

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span_log.hpp"
 #include "obs/trace.hpp"
 
 namespace ape::obs {
@@ -18,7 +19,9 @@ namespace ape::obs {
 class Observer {
  public:
   Observer() = default;
-  explicit Observer(std::size_t trace_capacity) : trace_(trace_capacity) {}
+  explicit Observer(std::size_t trace_capacity,
+                    std::size_t span_capacity = SpanLog::kDefaultCapacity)
+      : trace_(trace_capacity), spans_(span_capacity) {}
 
   // Opt-in for wall-clock measurement (obs::WallClockTimer).  Off by
   // default: solver/host timing only runs when a bench or experiment that
@@ -32,6 +35,13 @@ class Observer {
   [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
   [[nodiscard]] const TraceLog& trace() const noexcept { return trace_; }
 
+  // Causal request spans (DESIGN.md §5f).  Default-disabled: components
+  // must check spans_enabled() before injecting trace context into wire
+  // messages, so untraced runs keep byte-identical simulated traffic.
+  [[nodiscard]] SpanLog& spans() noexcept { return spans_; }
+  [[nodiscard]] const SpanLog& spans() const noexcept { return spans_; }
+  [[nodiscard]] bool spans_enabled() const noexcept { return spans_.enabled(); }
+
   // Shorthands for the two most common hooks.
   void count(const std::string& name, std::uint64_t n = 1) { metrics_.counter(name).add(n); }
   void event(sim::Time at, std::string component, std::string kind, std::string key = "",
@@ -43,6 +53,7 @@ class Observer {
  private:
   MetricsRegistry metrics_;
   TraceLog trace_;
+  SpanLog spans_;
   bool wallclock_ = false;
 };
 

@@ -1,0 +1,24 @@
+#include "obs/span.hpp"
+
+#include <charconv>
+
+namespace ape::obs {
+
+std::string encode_trace_context(const TraceContext& ctx) {
+  return std::to_string(ctx.trace) + "-" + std::to_string(ctx.span);
+}
+
+TraceContext decode_trace_context(const std::string& text) {
+  const auto sep = text.find('-');
+  if (sep == std::string::npos || sep == 0 || sep + 1 >= text.size()) return {};
+  TraceContext ctx;
+  const char* begin = text.data();
+  auto first = std::from_chars(begin, begin + sep, ctx.trace);
+  if (first.ec != std::errc{} || first.ptr != begin + sep) return {};
+  auto second = std::from_chars(begin + sep + 1, begin + text.size(), ctx.span);
+  if (second.ec != std::errc{} || second.ptr != begin + text.size()) return {};
+  if (!ctx.valid()) return {};
+  return ctx;
+}
+
+}  // namespace ape::obs

@@ -1,0 +1,57 @@
+// Span — the unit of causal request tracing (DESIGN.md §5f).
+//
+// Every app request mints a TraceId; each unit of attributable work along
+// its path (DNS lookup, AP serve, delegated fetch, flash read, edge/origin
+// serve, ...) is a Span: a named sim-time interval with a parent edge that
+// carries causality across components.  IDs are minted from monotonic
+// per-SpanLog counters, so a fixed seed reproduces byte-identical span
+// dumps — determinism is inherited from event execution order, never from
+// pointers or wall time.
+//
+// TraceContext is the half that travels: {trace, span} pairs are encoded
+// into message metadata (the X-Ape-Trace HTTP header, the TYPE=301 DNS RR)
+// so the receiving component can parent its spans under the sender's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ape::obs {
+
+using TraceId = std::uint64_t;  // 0 = "not traced"
+using SpanId = std::uint64_t;   // 0 = "no span"
+
+struct TraceContext {
+  TraceId trace = 0;
+  SpanId span = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return trace != 0 && span != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+struct Span {
+  TraceId trace = 0;
+  SpanId id = 0;
+  SpanId parent = 0;      // 0 = root of its trace
+  std::string name;       // span kind ("client.request", "dns.query", ...)
+  std::string component;  // emitting subsystem ("client", "ap", "edge", ...)
+  std::string key;        // object key / domain / app id, when applicable
+  sim::Time start{};
+  sim::Time end{};
+  bool closed = false;
+
+  [[nodiscard]] sim::Duration duration() const noexcept { return end - start; }
+};
+
+// Wire form for propagation through message metadata: "<trace>-<span>"
+// (decimal).  Compact, allocation-light, and — crucially — only ever
+// serialized when tracing is enabled, so default runs keep byte-identical
+// wire sizes and therefore byte-identical simulated timings.
+[[nodiscard]] std::string encode_trace_context(const TraceContext& ctx);
+
+// Returns an invalid context when `text` does not parse.
+[[nodiscard]] TraceContext decode_trace_context(const std::string& text);
+
+}  // namespace ape::obs

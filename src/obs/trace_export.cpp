@@ -1,0 +1,65 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/export.hpp"    // json_escape
+#include "obs/span_log.hpp"
+
+namespace ape::obs {
+
+void write_perfetto_json(std::ostream& out, const std::vector<Span>& spans,
+                         const PerfettoExportOptions& options) {
+  // Lane assignment: one tid per component, ordered by name so the export
+  // is stable across runs regardless of which component traced first.
+  std::map<std::string, int> lanes;
+  for (const Span& span : spans) lanes.emplace(span.component, 0);
+  int next_lane = 1;
+  for (auto& [component, lane] : lanes) lane = next_lane++;
+
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  bool first = true;
+  for (const auto& [key, value] : options.meta) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  out << "},\"traceEvents\":[";
+
+  first = true;
+  for (const auto& [component, lane] : lanes) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
+        << ",\"args\":{\"name\":\"" << json_escape(component) << "\"}}";
+  }
+  for (const Span& span : spans) {
+    if (!span.closed) continue;
+    out << (first ? "" : ",") << "{\"name\":\"" << json_escape(span.name) << "\",\"cat\":\""
+        << json_escape(span.component) << "\",\"ph\":\"X\",\"ts\":"
+        << span.start.since_epoch.count() << ",\"dur\":" << span.duration().count()
+        << ",\"pid\":1,\"tid\":" << lanes[span.component] << ",\"args\":{\"trace\":"
+        << span.trace << ",\"span\":" << span.id << ",\"parent\":" << span.parent
+        << ",\"key\":\"" << json_escape(span.key) << "\"}}";
+    first = false;
+  }
+  out << "]}\n";
+}
+
+std::string to_perfetto_json(const std::vector<Span>& spans,
+                             const PerfettoExportOptions& options) {
+  std::ostringstream os;
+  write_perfetto_json(os, spans, options);
+  return os.str();
+}
+
+bool write_perfetto_file(const std::string& path, const SpanLog& log,
+                         const PerfettoExportOptions& options) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_perfetto_json(file, log.spans(), options);
+  return static_cast<bool>(file);
+}
+
+}  // namespace ape::obs

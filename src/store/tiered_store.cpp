@@ -23,7 +23,15 @@ cache::CacheStore::InsertOutcome TieredStore::insert(cache::CacheEntry entry, si
 
 void TieredStore::fetch_flash(const std::string& key, sim::Time now,
                               std::function<void(std::optional<cache::CacheEntry>)> done) {
-  flash_.fetch(key, now, [this, done = std::move(done)](std::optional<ObjectMeta> meta) mutable {
+  // Capture the ambient context synchronously — by the time the device read
+  // completes the caller's push/pop scope is long gone.
+  obs::TraceContext read_span;
+  if (obs::SpanLog* log = spans(); log != nullptr) {
+    read_span = log->open(log->current_context(), "ap.flash.read", "store", key, now);
+  }
+  flash_.fetch(key, now, [this, read_span,
+                          done = std::move(done)](std::optional<ObjectMeta> meta) mutable {
+    if (obs::SpanLog* log = spans(); log != nullptr) log->close(read_span, sim_.now());
     if (!meta.has_value()) {
       ++flash_misses_;
       done(std::nullopt);
@@ -34,7 +42,11 @@ void TieredStore::fetch_flash(const std::string& key, sim::Time now,
     // Promotion attempt: offer the object back to RAM at completion time.
     // The RAM policy may refuse (the object is not worth its evictions);
     // then the flash copy stays put and we serve from flash — no thrash.
-    const auto outcome = ram_.insert(entry, sim_.now());
+    cache::CacheStore::InsertOutcome outcome;
+    {
+      obs::ScopedTraceContext ambient(spans(), read_span);  // -> pacm.solve
+      outcome = ram_.insert(entry, sim_.now());
+    }
     if (outcome == cache::CacheStore::InsertOutcome::Inserted) {
       ++promotions_;
       flash_.invalidate(entry.key);  // RAM copy is authoritative again

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "cache/object_store.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulator.hpp"
 #include "store/flash_tier.hpp"
 
@@ -47,8 +48,13 @@ class TieredStore {
 
   // Reads an object off flash (paying device time), attempts promotion to
   // RAM, and hands the entry to `done` (nullopt: not on flash / expired).
+  // The device read is recorded as an "ap.flash.read" span parented on the
+  // ambient trace context captured at entry.
   void fetch_flash(const std::string& key, sim::Time now,
                    std::function<void(std::optional<cache::CacheEntry>)> done);
+
+  // Nullable span sink for ap.flash.read spans.
+  void set_observer(obs::Observer* observer) noexcept { observer_ = observer; }
 
   // PACM's tier-aware latency-saved input: what serving this entry from
   // flash would cost, in milliseconds (core/pacm_policy.hpp).
@@ -69,10 +75,14 @@ class TieredStore {
 
  private:
   void on_ram_removal(const cache::CacheEntry& entry, cache::RemovalCause cause);
+  [[nodiscard]] obs::SpanLog* spans() const {
+    return observer_ == nullptr ? nullptr : &observer_->spans();
+  }
 
   sim::Simulator& sim_;
   cache::CacheStore& ram_;
   FlashTier& flash_;
+  obs::Observer* observer_ = nullptr;
 
   std::size_t demotions_ = 0;
   std::size_t demotion_skips_ = 0;

@@ -15,7 +15,8 @@ const char* to_string(System system) noexcept {
 }
 
 Testbed::Testbed(TestbedParams params)
-    : params_(std::move(params)), obs_(params_.trace_capacity) {
+    : params_(std::move(params)), obs_(params_.trace_capacity, params_.span_capacity) {
+  obs_.spans().set_enabled(params_.enable_spans);
   build_topology();
   build_dns();
   build_servers();
@@ -45,6 +46,7 @@ void Testbed::build_topology() {
 
   network_ = std::make_unique<net::Network>(sim_, topology_);
   tcp_ = std::make_unique<net::TcpTransport>(*network_);
+  tcp_->set_observer(&obs_);
 
   ap_ip_ = net::IpAddress::from_octets(192, 168, 8, 1);
   edge_ip_ = net::IpAddress::from_octets(10, 1, 0, 2);
@@ -83,6 +85,7 @@ void Testbed::build_servers() {
   // Edge cache server: ample capacity, preloaded via host_app.
   edge_cpu_ = std::make_unique<sim::ServiceQueue>(sim_, 8);
   edge_ = std::make_unique<http::EdgeCacheServer>(*tcp_, edge_node_, *edge_cpu_);
+  edge_->set_observer(&obs_);
 
   // The AP: APE-CACHE runtimes for the two APE systems, stock forwarder for
   // Wi-Cache / Edge Cache.  The flash media outlives ApRuntime incarnations
@@ -221,6 +224,19 @@ void Testbed::collect_metrics() {
   m.counter("edge.misses").set(edge_->misses());
 
   m.gauge("ap.cpu.busy_s").set(sim::to_seconds(ap_->cpu().busy_time()));
+
+  // Span bookkeeping + per-span-kind latency histograms, only in traced
+  // runs so default ape.obs.v1 exports stay byte-identical.  The cursor
+  // makes repeated collection idempotent (each span is folded in once).
+  if (obs_.spans_enabled()) {
+    m.counter("obs.trace.recorded").set(obs_.trace().recorded());
+    m.counter("obs.trace.dropped").set(obs_.trace().dropped());
+    m.counter("obs.spans.recorded").set(obs_.spans().recorded());
+    m.counter("obs.spans.dropped").set(obs_.spans().dropped());
+    m.gauge("obs.spans.open").set(static_cast<double>(obs_.spans().open_count()));
+    spans_histogrammed_ =
+        obs::record_span_histograms(obs_.spans().spans(), m, spans_histogrammed_);
+  }
 
   ap_->snapshot_metrics();
 }

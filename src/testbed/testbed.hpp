@@ -64,6 +64,12 @@ struct TestbedParams {
 
   // Sim-time trace ring size for this run's Observer (0 disables tracing).
   std::size_t trace_capacity = obs::TraceLog::kDefaultCapacity;
+
+  // Causal request tracing (DESIGN.md §5f).  Off by default: enabling it
+  // injects trace-context carriers into DNS/HTTP messages (real wire
+  // bytes), so traced runs are *not* byte-identical to default runs.
+  bool enable_spans = false;
+  std::size_t span_capacity = obs::SpanLog::kDefaultCapacity;
 };
 
 class Testbed {
@@ -170,6 +176,7 @@ class Testbed {
   std::vector<std::unique_ptr<Client>> clients_;
   net::Port next_client_port_ = 49152;
   std::uint32_t next_client_ip_suffix_ = 100;
+  std::size_t spans_histogrammed_ = 0;  // collect_metrics() idempotency cursor
 };
 
 }  // namespace ape::testbed

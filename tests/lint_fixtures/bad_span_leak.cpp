@@ -1,0 +1,51 @@
+// Fixture: a span context captured from SpanLog::open()/open_root() and
+// then never mentioned again must fire — the span can never be closed.
+// Contexts that are closed, passed to a helper, or captured must not.
+#include <functional>
+#include <string>
+
+namespace fixture {
+
+struct TraceContext {
+  unsigned long long trace = 0;
+  unsigned long long span = 0;
+};
+
+class SpanLog {
+ public:
+  TraceContext open_root(const std::string& name, const std::string& component,
+                         const std::string& key, long start);
+  TraceContext open(const TraceContext& parent, const std::string& name,
+                    const std::string& component, const std::string& key, long start);
+  void close(const TraceContext& ctx, long end);
+  TraceContext current_context() const;
+};
+
+void finish_elsewhere(const TraceContext& ctx);
+
+inline void leaks_root(SpanLog& log) {
+  // Note the check is file-scoped: a *distinct* name that never reappears.
+  TraceContext leaked = log.open_root("client.request", "client", "app:1", 0);  // expect-lint: span-leak
+}
+
+inline void leaks_child(SpanLog& log, const TraceContext& parent) {
+  TraceContext child = log.open(  // expect-lint: span-leak
+      parent, "dns.query", "client", "example.com", 0);
+}
+
+inline void closes_properly(SpanLog& log) {
+  TraceContext root = log.open_root("client.request", "client", "app:2", 0);
+  log.close(root, 10);
+}
+
+inline void hands_off(SpanLog& log) {
+  TraceContext span = log.open(log.current_context(), "ap.lookup", "ap", "k", 0);
+  finish_elsewhere(span);
+}
+
+inline std::function<void()> captures_into_callback(SpanLog& log) {
+  TraceContext span = log.open(log.current_context(), "net.connect", "net", "ip", 0);
+  return [&log, span]() { log.close(span, 5); };
+}
+
+}  // namespace fixture

@@ -28,6 +28,10 @@ Checks
                     to return [common/result.hpp's] Result<T>.
   raw-seconds       `double <name>_s|_sec|_secs|_seconds` declarations —
                     use sim::Duration / sim::Time instead.
+  span-leak         a trace-span context captured from SpanLog::open()/
+                    open_root() that is never mentioned again after the
+                    opening statement — it can never be closed, so the span
+                    stays open and validate_spans() flags the whole trace.
 
 Allowlisting
 ------------
@@ -58,7 +62,7 @@ import re
 import sys
 from typing import Dict, List, Set, Tuple
 
-CHECKS = ("wallclock", "unordered-iter", "discarded-result", "raw-seconds")
+CHECKS = ("wallclock", "unordered-iter", "discarded-result", "raw-seconds", "span-leak")
 
 SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
 
@@ -428,6 +432,51 @@ def check_discarded_result(sf: SourceFile, result_fns: Set[str]) -> List[Finding
     return findings
 
 
+# A span-context variable born from SpanLog::open()/open_root().  Matching
+# on the method name alone would false-positive on `file.open(path)` — those
+# are statements, not assignments — so require the `name = ....open...(`
+# shape and a Trace/Span-ish receiver or declaration nearby.
+SPAN_OPEN_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*=\s*(?:[A-Za-z_]\w*(?:\.|->|::))*open(?:_root)?\s*\("
+)
+
+
+def check_span_leak(sf: SourceFile) -> List[Finding]:
+    findings = []
+    for m in SPAN_OPEN_RE.finditer(sf.code):
+        name = m.group(1)
+        # Walk to the end of the opening statement (the `;` at paren depth 0);
+        # any later mention of the variable — a close(), a pass to a helper or
+        # callback capture, a ScopedTraceContext — counts as a handoff.
+        i = m.end() - 1
+        depth = 0
+        n = len(sf.code)
+        while i < n:
+            c = sf.code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == ";" and depth == 0:
+                break
+            i += 1
+        if re.search(r"\b" + re.escape(name) + r"\b", sf.code[i:]):
+            continue
+        line = sf.line_of_offset(m.start())
+        findings.append(
+            Finding(
+                sf.path,
+                line,
+                "span-leak",
+                f"span context `{name}` is never used after open() — it can "
+                "never be closed, the span stays open forever, and "
+                "validate_spans() rejects the trace; close it or hand it to "
+                "the completion path",
+            )
+        )
+    return findings
+
+
 def check_raw_seconds(sf: SourceFile) -> List[Finding]:
     findings = []
     for m in RAW_SECONDS_RE.finditer(sf.code):
@@ -473,6 +522,7 @@ def run_checks(
         raw += check_unordered_iter(sf, unordered_names)
         raw += check_discarded_result(sf, result_fns)
         raw += check_raw_seconds(sf)
+        raw += check_span_leak(sf)
         seen = set()
         for f in raw:
             if sf.allowed(f.line, f.check):

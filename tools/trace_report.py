@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Offline analyzer for APE Perfetto trace dumps (obs/trace_export).
+
+The exporter annotates every complete ("ph":"X") event with its causal
+identity in `args` ({trace, span, parent, key}); this tool rebuilds the
+span trees from those args — independently of the C++ attribution code —
+and re-checks the structural invariants plus the exact integer-microsecond
+reconciliation (sum of exclusive times == root end-to-end duration).
+
+Usage:
+  tools/trace_report.py trace.json             # per-kind / per-request report
+  tools/trace_report.py --validate trace.json  # invariants only, exit 1 on any
+                                               # violation (CI trace-smoke lane)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    trace: int
+    span: int
+    parent: int
+    name: str
+    component: str
+    key: str
+    ts: int  # microseconds
+    dur: int  # microseconds
+    children: list = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.ts + self.dur
+
+
+def load_spans(path: str) -> tuple[list[Span], list[str]]:
+    """Parses the exporter's JSON; returns (spans, format_errors)."""
+    errors: list[str] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [], ["not a Perfetto JSON Object Format file (no traceEvents)"]
+    spans: list[Span] = []
+    for i, ev in enumerate(doc["traceEvents"]):
+        ph = ev.get("ph")
+        if ph == "M":  # metadata (thread_name lanes)
+            continue
+        if ph != "X":
+            errors.append(f"event {i}: unexpected phase {ph!r} (exporter emits only M and X)")
+            continue
+        args = ev.get("args", {})
+        missing = [k for k in ("trace", "span", "parent", "key") if k not in args]
+        if missing:
+            errors.append(f"event {i}: args missing {missing}")
+            continue
+        if not isinstance(ev.get("ts"), int) or not isinstance(ev.get("dur"), int):
+            errors.append(f"event {i}: ts/dur must be integer microseconds")
+            continue
+        spans.append(
+            Span(
+                trace=args["trace"],
+                span=args["span"],
+                parent=args["parent"],
+                name=ev.get("name", "?"),
+                component=ev.get("cat", ""),
+                key=args["key"],
+                ts=ev["ts"],
+                dur=ev["dur"],
+            )
+        )
+    return spans, errors
+
+
+def build_traces(spans: list[Span]) -> tuple[dict, list[str]]:
+    """Groups spans by trace id and links children; returns (traces, errors)."""
+    errors: list[str] = []
+    traces: dict[int, dict[int, Span]] = defaultdict(dict)
+    for s in spans:
+        if s.span in traces[s.trace]:
+            errors.append(f"trace {s.trace}: duplicate span id {s.span}")
+            continue
+        traces[s.trace][s.span] = s
+    for trace_id, members in traces.items():
+        for s in members.values():
+            if s.parent == 0:
+                continue
+            parent = members.get(s.parent)
+            if parent is None:
+                errors.append(
+                    f"trace {trace_id}: span {s.span} ({s.name}) has unknown parent {s.parent}"
+                )
+                continue
+            parent.children.append(s)
+    return traces, errors
+
+
+def validate_trace(trace_id: int, members: dict) -> list[str]:
+    """Structural invariants for one trace (mirrors obs::validate_spans)."""
+    errors: list[str] = []
+    roots = [s for s in members.values() if s.parent == 0]
+    if len(roots) != 1:
+        errors.append(f"trace {trace_id}: {len(roots)} roots (want exactly 1)")
+    for s in members.values():
+        if s.dur < 0:
+            errors.append(f"trace {trace_id}: span {s.span} ({s.name}) negative duration")
+        parent = members.get(s.parent) if s.parent != 0 else None
+        if parent is not None and not (parent.ts <= s.ts and s.end <= parent.end):
+            errors.append(
+                f"trace {trace_id}: span {s.span} ({s.name}) "
+                f"[{s.ts},{s.end}] escapes parent {parent.span} [{parent.ts},{parent.end}]"
+            )
+        kids = sorted(s.children, key=lambda c: (c.ts, c.end))
+        for a, b in zip(kids, kids[1:]):
+            if b.ts < a.end:
+                errors.append(
+                    f"trace {trace_id}: siblings {a.span} ({a.name}) and "
+                    f"{b.span} ({b.name}) overlap under span {s.span}"
+                )
+    return errors
+
+
+def exclusive_us(s: Span) -> int:
+    return s.dur - sum(c.dur for c in s.children)
+
+
+def reconcile_trace(trace_id: int, members: dict) -> list[str]:
+    """Exact attribution check: sum(exclusive) == root end-to-end, in µs."""
+    roots = [s for s in members.values() if s.parent == 0]
+    if len(roots) != 1:
+        return []  # already reported by validate_trace
+    total = sum(exclusive_us(s) for s in members.values())
+    if total != roots[0].dur:
+        return [
+            f"trace {trace_id}: exclusive sum {total}us != end-to-end {roots[0].dur}us "
+            f"(root {roots[0].name})"
+        ]
+    return []
+
+
+def print_table(header: list[str], rows: list[list[str]]) -> None:
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+              for i in range(len(header))]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def report(traces: dict) -> None:
+    by_kind: dict[str, list[int]] = defaultdict(list)
+    by_request: dict[str, list[int]] = defaultdict(list)
+    for members in traces.values():
+        for s in members.values():
+            by_kind[s.name].append(exclusive_us(s))
+        for s in members.values():
+            if s.parent == 0:
+                by_request[s.key].append(s.dur)
+
+    print(f"{len(traces)} traces, {sum(len(m) for m in traces.values())} spans\n")
+
+    print("Per-span-kind exclusive time (critical-path attribution):")
+    rows = []
+    for kind in sorted(by_kind):
+        vals = by_kind[kind]
+        total_ms = sum(vals) / 1000.0
+        rows.append([kind, str(len(vals)), f"{total_ms:.2f}",
+                     f"{total_ms / len(vals):.3f}"])
+    print_table(["span kind", "count", "exclusive total ms", "mean ms"], rows)
+
+    print("\nPer-request end-to-end latency (root spans):")
+    rows = []
+    for key in sorted(by_request):
+        vals = sorted(by_request[key])
+        mean_ms = sum(vals) / len(vals) / 1000.0
+        p99_ms = vals[min(len(vals) - 1, int(0.99 * len(vals)))] / 1000.0
+        rows.append([key, str(len(vals)), f"{mean_ms:.2f}", f"{p99_ms:.2f}"])
+    print_table(["request", "count", "mean ms", "p99 ms"], rows)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="Perfetto JSON written by --trace-out")
+    parser.add_argument("--validate", action="store_true",
+                        help="check invariants + exact reconciliation; exit 1 on violation")
+    args = parser.parse_args()
+
+    spans, errors = load_spans(args.trace)
+    traces, link_errors = build_traces(spans)
+    errors.extend(link_errors)
+    for trace_id in sorted(traces):
+        errors.extend(validate_trace(trace_id, traces[trace_id]))
+        errors.extend(reconcile_trace(trace_id, traces[trace_id]))
+
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        print(f"FAIL: {len(errors)} violation(s) in {args.trace}", file=sys.stderr)
+        return 1
+
+    if args.validate:
+        print(f"OK: {len(traces)} traces / {len(spans)} spans validated; "
+              f"all attributions reconcile exactly")
+        return 0
+
+    report(traces)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
