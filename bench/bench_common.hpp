@@ -37,9 +37,13 @@ class BenchReporter {
         csv_path_ = argv[++i];
       } else if (arg == "--trace-out" && i + 1 < argc) {
         trace_path_ = argv[++i];
+      } else if (arg == "--timeline-out" && i + 1 < argc) {
+        timeline_path_ = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: %s [--json <path>] [--csv <path>] [--trace-out <path>]\n",
-                    name_.c_str());
+        std::printf(
+            "usage: %s [--json <path>] [--csv <path>] [--trace-out <path>] "
+            "[--timeline-out <path>]\n",
+            name_.c_str());
         std::exit(0);
       }
     }
@@ -52,6 +56,12 @@ class BenchReporter {
   // benches must keep traced runs *separate* from the snapshot runs — the
   // `--json` output stays byte-identical whether or not this is set.
   [[nodiscard]] const std::string& trace_path() const noexcept { return trace_path_; }
+
+  // Timeline snapshot destination (`--timeline-out <path>`); empty when the
+  // bench should not run its windowed-telemetry flavour.  Like tracing, the
+  // in-sim scrape path changes wire traffic, so timeline runs must stay
+  // separate from the `--json` snapshot runs.
+  [[nodiscard]] const std::string& timeline_path() const noexcept { return timeline_path_; }
 
   void gauge(const std::string& name, double value) { registry_.gauge(name).set(value); }
   void counter(const std::string& name, std::uint64_t value) {
@@ -95,6 +105,7 @@ class BenchReporter {
   std::string json_path_;
   std::string csv_path_;
   std::string trace_path_;
+  std::string timeline_path_;
   obs::MetricsRegistry registry_;
 };
 

@@ -86,6 +86,66 @@ int run_traced(const std::string& trace_path, const std::vector<workload::AppSpe
   return 0;
 }
 
+// Timeline flavour (`--timeline-out <path>`): one extra APE-CACHE run with
+// windowed telemetry on — capture ticks every 30 s, the controller scraping
+// the AP over the simulated WAN every 60 s, and two SLO rules watching the
+// stream.  The run gates on Timeline::reconcile: every counter's window
+// deltas must sum *exactly* to its end-of-run snapshot total (the windows
+// partition the run), else the bench exits non-zero.  Like tracing, the
+// scrape traffic is real simulated wire bytes, so this run never feeds the
+// `--json` snapshot.
+int run_timeline(const std::string& timeline_path, const std::vector<workload::AppSpec>& apps,
+                 const testbed::WorkloadConfig& config) {
+  testbed::TestbedParams params;
+  params.enable_timeline = true;
+  params.timeline_interval = sim::seconds(30.0);
+  params.telemetry_scrape_interval = sim::seconds(60.0);
+  // Both rules violate while the cache is cold and recover as it warms, so
+  // the committed expectations pin a fire -> resolve trajectory.
+  params.slo_rules = {
+      "cache-warmup: ap.cache.hit_ratio >= 0.6 over 2 windows resolve 2",
+      "tail-latency: client.total_ms p99 <= 40ms over 2 windows resolve 2",
+  };
+  testbed::Testbed bed(params);
+  for (const auto& app : apps) bed.host_app(app);
+  (void)testbed::run_workload(bed, apps, config);
+
+  const auto& timeline = bed.observer().timeline();
+  const auto errors = timeline.reconcile(bed.observer().metrics());
+  if (!errors.empty()) {
+    for (const auto& err : errors) {
+      std::fprintf(stderr, "timeline reconcile failed: %s\n", err.c_str());
+    }
+    return 1;
+  }
+
+  const auto* collector = bed.telemetry_collector();
+  const auto& slo = collector->slo();
+  std::printf(
+      "Timeline run: %zu windows, all deltas reconcile exactly; "
+      "%zu scrapes shipped %zu windows; alerts fired=%zu resolved=%zu\n",
+      timeline.windows().size(), collector->scrapes_sent(), collector->windows().size(),
+      slo.fired(), slo.resolved());
+  for (const auto& t : slo.transitions()) {
+    std::printf("  window %llu: %s %s -> %s (value %s)\n",
+                static_cast<unsigned long long>(t.window), t.rule.c_str(),
+                obs::to_string(t.from).c_str(), obs::to_string(t.to).c_str(),
+                obs::format_double(t.value).c_str());
+  }
+
+  obs::ExportOptions options;
+  options.meta["bench"] = "smoke";
+  options.meta["flavour"] = "timeline";
+  options.timeline = &timeline;
+  options.alerts = &slo;
+  if (!obs::write_json_file(timeline_path, bed.observer().metrics(), nullptr, options)) {
+    std::fprintf(stderr, "error: cannot write %s\n", timeline_path.c_str());
+    return 1;
+  }
+  std::printf("timeline snapshot: %s\n", timeline_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +209,10 @@ int main(int argc, char** argv) {
 
   if (!reporter.trace_path().empty()) {
     const int rc = run_traced(reporter.trace_path(), apps, config);
+    if (rc != 0) return rc;
+  }
+  if (!reporter.timeline_path().empty()) {
+    const int rc = run_timeline(reporter.timeline_path(), apps, config);
     if (rc != 0) return rc;
   }
   return reporter.finish();

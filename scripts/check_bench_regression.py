@@ -30,7 +30,7 @@ import sys
 SCHEMA = "ape.obs.v1"
 
 # Metric families that gate CI (matched against the flattened name).
-DEFAULT_WATCH = r"(hit_ratio|recovery_ratio|p50|p99|events_fired)"
+DEFAULT_WATCH = r"(hit_ratio|recovery_ratio|p50|p99|events_fired|alerts_fired|telemetry)"
 
 # Histogram fields worth comparing (count is exact; the rest are values).
 HISTOGRAM_FIELDS = ("count", "mean", "p50", "p90", "p95", "p99", "min", "max")
@@ -81,7 +81,12 @@ def relative_drift(baseline: float, current: float) -> float:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline snapshot")
-    parser.add_argument("current", help="freshly produced snapshot")
+    parser.add_argument("current", nargs="?",
+                        help="freshly produced snapshot "
+                             "(optional with --list-watched)")
+    parser.add_argument("--list-watched", action="store_true",
+                        help="print the resolved watch set (baseline metrics "
+                             "the gate would compare) and exit 0")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed relative drift (default 0.10 = ±10%%)")
     parser.add_argument("--watch", default=DEFAULT_WATCH,
@@ -96,12 +101,21 @@ def main() -> int:
     args = parser.parse_args()
 
     base = flatten(load(args.baseline), args.include_volatile)
-    cur = flatten(load(args.current), args.include_volatile)
     watch = re.compile(args.watch)
 
     watched = sorted(n for n in base if args.all or watch.search(n))
+    if args.list_watched:
+        pattern = "<all>" if args.all else args.watch
+        print(f"watch pattern: {pattern}")
+        for name in watched:
+            print(f"  {name}")
+        print(f"{len(watched)} watched metric(s) in {args.baseline}")
+        return 0
+    if args.current is None:
+        parser.error("current snapshot required unless --list-watched")
     if not watched:
         sys.exit(f"error: no metrics in {args.baseline} match {args.watch!r}")
+    cur = flatten(load(args.current), args.include_volatile)
 
     failures = []
     for name in watched:

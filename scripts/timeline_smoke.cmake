@@ -1,0 +1,34 @@
+# ctest driver for the timeline-smoke lane: runs the smoke bench with the
+# windowed telemetry subsystem on, then re-validates the snapshot *offline*
+# with tools/timeline_report.py --validate — an independent
+# re-implementation of the window monotonicity / delta-sum / alert
+# state-machine invariants, so a bug in the C++ Timeline::reconcile can't
+# vouch for itself.  The committed expectations file additionally pins the
+# run's shape (window count, counter totals, alert outcomes).  Invoked as:
+#
+#   cmake -DSMOKE_BIN=... -DPYTHON=... -DTIMELINE_REPORT=... -DEXPECT=... \
+#         -DOUT=... -P scripts/timeline_smoke.cmake
+#
+# Fails (FATAL_ERROR) when the bench's in-process reconciliation, the
+# snapshot write, or the offline validation fails.
+
+foreach(var SMOKE_BIN PYTHON TIMELINE_REPORT EXPECT OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "timeline_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SMOKE_BIN} --timeline-out ${OUT}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke --timeline-out failed (rc=${bench_rc}): "
+                      "window deltas no longer reconcile with snapshot totals")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${TIMELINE_REPORT} --validate --expect ${EXPECT} ${OUT}
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "timeline_report.py --validate rejected ${OUT} (rc=${validate_rc})")
+endif()

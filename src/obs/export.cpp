@@ -156,6 +156,73 @@ void write_json(std::ostream& out, const MetricsRegistry& registry, const TraceL
     out << "]}";
   }
 
+  if (options.timeline != nullptr) {
+    const Timeline& tl = *options.timeline;
+    out << ",\"timeseries\":{\"interval_us\":" << tl.interval().count() << ",\"windows\":[";
+    first = true;
+    for (const TimelineWindow& w : tl.windows()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"index\":" << w.index << ",\"start_us\":" << w.start.since_epoch.count()
+          << ",\"end_us\":" << w.end.since_epoch.count() << ",\"counters\":{";
+      bool inner = true;
+      for (const auto& [name, delta] : w.counter_deltas) {
+        if (!inner) out << ",";
+        inner = false;
+        out << "\"" << json_escape(name) << "\":" << delta;
+      }
+      out << "},\"gauges\":{";
+      inner = true;
+      for (const auto& [name, value] : w.gauges) {
+        if (!inner) out << ",";
+        inner = false;
+        out << "\"" << json_escape(name) << "\":" << format_double(value);
+      }
+      out << "},\"histograms\":{";
+      inner = true;
+      for (const auto& [name, s] : w.histograms) {
+        if (!inner) out << ",";
+        inner = false;
+        out << "\"" << json_escape(name) << "\":{\"unit\":\"" << json_escape(s.unit)
+            << "\",\"count\":" << s.count << ",\"sum\":" << format_double(s.sum)
+            << ",\"mean\":" << format_double(s.mean) << ",\"min\":" << format_double(s.min)
+            << ",\"max\":" << format_double(s.max) << ",\"p50\":" << format_double(s.p50)
+            << ",\"p95\":" << format_double(s.p95) << ",\"p99\":" << format_double(s.p99)
+            << "}";
+      }
+      out << "}}";
+    }
+    out << "]}";
+  }
+
+  if (options.alerts != nullptr) {
+    const SloEvaluator& slo = *options.alerts;
+    out << ",\"alerts\":{\"fired\":" << slo.fired() << ",\"resolved\":" << slo.resolved()
+        << ",\"rules\":[";
+    first = true;
+    for (const SloRule& rule : slo.rules()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << json_escape(rule.name) << "\",\"metric\":\""
+          << json_escape(rule.metric) << "\",\"field\":\"" << to_string(rule.field)
+          << "\",\"op\":\"" << json_escape(to_string(rule.op))
+          << "\",\"threshold\":" << format_double(rule.threshold)
+          << ",\"for_windows\":" << rule.for_windows
+          << ",\"resolve_windows\":" << rule.resolve_windows << ",\"state\":\""
+          << to_string(slo.state(rule.name)) << "\"}";
+    }
+    out << "],\"transitions\":[";
+    first = true;
+    for (const AlertTransition& t : slo.transitions()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"window\":" << t.window << ",\"rule\":\"" << json_escape(t.rule)
+          << "\",\"from\":\"" << to_string(t.from) << "\",\"to\":\"" << to_string(t.to)
+          << "\",\"value\":" << format_double(t.value) << "}";
+    }
+    out << "]}";
+  }
+
   out << "}\n";
 }
 

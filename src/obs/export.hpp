@@ -23,7 +23,24 @@
 //                     "spans": [{"trace": <id>, "span": <id>,
 //                                "parent": <id>, "name": "...",
 //                                "component": "...", "key": "...",
-//                                "start_us": <int>, "end_us": <int>}, ...] }  // opt-in
+//                                "start_us": <int>, "end_us": <int>}, ...] },  // opt-in
+//     "timeseries": { "interval_us": <int>, "windows":
+//                     [{"index": <n>, "start_us": <int>, "end_us": <int>,
+//                       "counters": {"<name>": <int-delta>, ...},
+//                       "gauges": {"<name>": <f>, ...},
+//                       "histograms": {"<name>": {"unit": "<u>",
+//                          "count": <n>, "sum": <f>, "mean": <f>,
+//                          "min": <f>, "max": <f>, "p50": <f>,
+//                          "p95": <f>, "p99": <f>}, ...}}, ...] },  // opt-in
+//     "alerts":     { "fired": <n>, "resolved": <n>,
+//                     "rules": [{"name": "...", "metric": "...",
+//                                "field": "...", "op": "...",
+//                                "threshold": <f>, "for_windows": <n>,
+//                                "resolve_windows": <n>,
+//                                "state": "<final state>"}, ...],
+//                     "transitions": [{"window": <n>, "rule": "...",
+//                                      "from": "...", "to": "...",
+//                                      "value": <f>}, ...] }  // opt-in
 //   }
 //
 // The drop counts in "trace"/"spans" exist so a truncated log is never
@@ -41,7 +58,9 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span_log.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace ape::obs {
@@ -51,6 +70,11 @@ struct ExportOptions {
   bool include_volatile = false;
   bool include_trace = false;
   bool include_spans = false;
+  // Timeline-run extensions (DESIGN.md §5g): non-null emits "timeseries" /
+  // "alerts".  Default runs leave them null, so the snapshot bytes are
+  // unchanged — the same gating contract as the opt-in sections above.
+  const Timeline* timeline = nullptr;
+  const SloEvaluator* alerts = nullptr;
 };
 
 void write_json(std::ostream& out, const MetricsRegistry& registry,

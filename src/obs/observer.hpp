@@ -12,6 +12,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span_log.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace ape::obs {
@@ -42,6 +43,13 @@ class Observer {
   [[nodiscard]] const SpanLog& spans() const noexcept { return spans_; }
   [[nodiscard]] bool spans_enabled() const noexcept { return spans_.enabled(); }
 
+  // Windowed time-series telemetry (DESIGN.md §5g).  Default-disabled:
+  // nothing captures windows or scrapes them over the simulated network
+  // unless a run opts in, so default runs stay byte-identical.
+  [[nodiscard]] Timeline& timeline() noexcept { return timeline_; }
+  [[nodiscard]] const Timeline& timeline() const noexcept { return timeline_; }
+  [[nodiscard]] bool timeline_enabled() const noexcept { return timeline_.enabled(); }
+
   // Shorthands for the two most common hooks.
   void count(const std::string& name, std::uint64_t n = 1) { metrics_.counter(name).add(n); }
   void event(sim::Time at, std::string component, std::string kind, std::string key = "",
@@ -54,6 +62,7 @@ class Observer {
   MetricsRegistry metrics_;
   TraceLog trace_;
   SpanLog spans_;
+  Timeline timeline_;
   bool wallclock_ = false;
 };
 

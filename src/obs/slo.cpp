@@ -1,0 +1,262 @@
+#include "obs/slo.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ape::obs {
+namespace {
+
+bool field_from_token(const std::string& token, SloField& out) {
+  if (token == "count") out = SloField::Count;
+  else if (token == "sum") out = SloField::Sum;
+  else if (token == "mean") out = SloField::Mean;
+  else if (token == "min") out = SloField::Min;
+  else if (token == "max") out = SloField::Max;
+  else if (token == "p50") out = SloField::P50;
+  else if (token == "p95") out = SloField::P95;
+  else if (token == "p99") out = SloField::P99;
+  else return false;
+  return true;
+}
+
+bool op_from_token(const std::string& token, SloOp& out) {
+  if (token == ">=") out = SloOp::Ge;
+  else if (token == "<=") out = SloOp::Le;
+  else if (token == ">") out = SloOp::Gt;
+  else if (token == "<") out = SloOp::Lt;
+  else return false;
+  return true;
+}
+
+bool holds(SloOp op, double value, double threshold) {
+  switch (op) {
+    case SloOp::Ge: return value >= threshold;
+    case SloOp::Le: return value <= threshold;
+    case SloOp::Gt: return value > threshold;
+    case SloOp::Lt: return value < threshold;
+  }
+  return false;
+}
+
+double summary_field(const WindowHistogramSummary& s, SloField field) {
+  switch (field) {
+    case SloField::Count: return static_cast<double>(s.count);
+    case SloField::Sum: return s.sum;
+    case SloField::Mean: return s.mean;
+    case SloField::Min: return s.min;
+    case SloField::Max: return s.max;
+    case SloField::P50: return s.p50;
+    case SloField::P95: return s.p95;
+    case SloField::P99: return s.p99;
+    case SloField::Value: return s.mean;  // unreachable via parse; be defined
+  }
+  return 0.0;
+}
+
+// Looks the rule's metric up in one window.  Histogram-field rules read the
+// window summary; Value rules prefer the gauge and fall back to the counter
+// delta.  Returns false when the metric did not appear in this window.
+bool window_value(const TimelineWindow& window, const SloRule& rule, double& out) {
+  if (rule.field != SloField::Value) {
+    const auto it = window.histograms.find(rule.metric);
+    if (it == window.histograms.end()) return false;
+    out = summary_field(it->second, rule.field);
+    return true;
+  }
+  if (const auto it = window.gauges.find(rule.metric); it != window.gauges.end()) {
+    out = it->second;
+    return true;
+  }
+  if (const auto it = window.counter_deltas.find(rule.metric);
+      it != window.counter_deltas.end()) {
+    out = static_cast<double>(it->second);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(SloField field) {
+  switch (field) {
+    case SloField::Value: return "value";
+    case SloField::Count: return "count";
+    case SloField::Sum: return "sum";
+    case SloField::Mean: return "mean";
+    case SloField::Min: return "min";
+    case SloField::Max: return "max";
+    case SloField::P50: return "p50";
+    case SloField::P95: return "p95";
+    case SloField::P99: return "p99";
+  }
+  return "value";
+}
+
+std::string to_string(SloOp op) {
+  switch (op) {
+    case SloOp::Ge: return ">=";
+    case SloOp::Le: return "<=";
+    case SloOp::Gt: return ">";
+    case SloOp::Lt: return "<";
+  }
+  return ">=";
+}
+
+std::string to_string(AlertState state) {
+  switch (state) {
+    case AlertState::Inactive: return "inactive";
+    case AlertState::Pending: return "pending";
+    case AlertState::Firing: return "firing";
+  }
+  return "inactive";
+}
+
+std::string SloRule::text() const {
+  std::ostringstream out;
+  out << name << ": " << metric;
+  if (field != SloField::Value) out << ' ' << to_string(field);
+  out << ' ' << to_string(op) << ' ' << threshold << " over " << for_windows << " windows";
+  if (resolve_windows != 1) out << " resolve " << resolve_windows;
+  return out.str();
+}
+
+Result<SloRule> parse_slo_rule(const std::string& text) {
+  std::vector<std::string> tokens;
+  {
+    std::istringstream in(text);
+    std::string token;
+    while (in >> token) tokens.push_back(token);
+  }
+  if (tokens.empty()) return make_error<SloRule>("empty SLO rule");
+
+  SloRule rule;
+  std::size_t i = 0;
+
+  // Optional "<name>:" prefix (the colon may be attached or freestanding).
+  if (tokens[0].size() > 1 && tokens[0].back() == ':') {
+    rule.name = tokens[0].substr(0, tokens[0].size() - 1);
+    i = 1;
+  } else if (tokens.size() > 1 && tokens[1] == ":") {
+    rule.name = tokens[0];
+    i = 2;
+  }
+
+  if (i >= tokens.size()) return make_error<SloRule>("missing metric in SLO rule: " + text);
+  rule.metric = tokens[i++];
+
+  if (i < tokens.size() && field_from_token(tokens[i], rule.field)) ++i;
+
+  if (i >= tokens.size() || !op_from_token(tokens[i], rule.op)) {
+    return make_error<SloRule>("expected comparison (>=, <=, >, <) in SLO rule: " + text);
+  }
+  ++i;
+
+  if (i >= tokens.size()) return make_error<SloRule>("missing threshold in SLO rule: " + text);
+  {
+    const std::string& token = tokens[i];
+    char* end = nullptr;
+    rule.threshold = std::strtod(token.c_str(), &end);
+    if (end == token.c_str()) {
+      return make_error<SloRule>("bad threshold '" + token + "' in SLO rule: " + text);
+    }
+    // A trailing unit suffix ("40ms", "0.6") is informational only; the
+    // rule compares in the metric's native unit.
+    ++i;
+  }
+
+  if (i + 1 < tokens.size() && tokens[i] == "over") {
+    char* end = nullptr;
+    const long n = std::strtol(tokens[i + 1].c_str(), &end, 10);
+    if (end == tokens[i + 1].c_str() || n < 1) {
+      return make_error<SloRule>("bad window count '" + tokens[i + 1] + "' in SLO rule: " + text);
+    }
+    rule.for_windows = static_cast<std::uint32_t>(n);
+    i += 2;
+    if (i < tokens.size() && (tokens[i] == "windows" || tokens[i] == "window")) ++i;
+  }
+
+  if (i + 1 < tokens.size() && tokens[i] == "resolve") {
+    char* end = nullptr;
+    const long n = std::strtol(tokens[i + 1].c_str(), &end, 10);
+    if (end == tokens[i + 1].c_str() || n < 1) {
+      return make_error<SloRule>("bad resolve count '" + tokens[i + 1] + "' in SLO rule: " + text);
+    }
+    rule.resolve_windows = static_cast<std::uint32_t>(n);
+    i += 2;
+    if (i < tokens.size() && (tokens[i] == "windows" || tokens[i] == "window")) ++i;
+  }
+
+  if (i != tokens.size()) {
+    return make_error<SloRule>("trailing tokens from '" + tokens[i] + "' in SLO rule: " + text);
+  }
+
+  if (rule.name.empty()) {
+    rule.name = rule.metric;
+    if (rule.field != SloField::Value) rule.name += "." + to_string(rule.field);
+  }
+  return rule;
+}
+
+void SloEvaluator::add_rule(SloRule rule) {
+  rules_.push_back(RuleState{std::move(rule), AlertState::Inactive, 0, 0});
+}
+
+void SloEvaluator::transition(RuleState& rs, AlertState to, const TimelineWindow& window,
+                              double value) {
+  transitions_.push_back(AlertTransition{window.index, rs.rule.name, rs.state, to, value});
+  if (to == AlertState::Firing) ++fired_;
+  if (rs.state == AlertState::Firing && to == AlertState::Inactive) ++resolved_;
+  rs.state = to;
+}
+
+void SloEvaluator::observe(const TimelineWindow& window) {
+  for (RuleState& rs : rules_) {
+    double value = 0.0;
+    if (!window_value(window, rs.rule, value)) continue;  // no data: freeze streaks
+
+    if (!holds(rs.rule.op, value, rs.rule.threshold)) {
+      rs.ok_streak = 0;
+      ++rs.violate_streak;
+      if (rs.state != AlertState::Firing && rs.violate_streak >= rs.rule.for_windows) {
+        transition(rs, AlertState::Firing, window, value);
+      } else if (rs.state == AlertState::Inactive) {
+        transition(rs, AlertState::Pending, window, value);
+      }
+    } else {
+      rs.violate_streak = 0;
+      ++rs.ok_streak;
+      if (rs.state == AlertState::Pending) {
+        transition(rs, AlertState::Inactive, window, value);
+      } else if (rs.state == AlertState::Firing && rs.ok_streak >= rs.rule.resolve_windows) {
+        transition(rs, AlertState::Inactive, window, value);
+      }
+    }
+  }
+}
+
+std::vector<SloRule> SloEvaluator::rules() const {
+  std::vector<SloRule> out;
+  out.reserve(rules_.size());
+  for (const RuleState& rs : rules_) out.push_back(rs.rule);
+  return out;
+}
+
+AlertState SloEvaluator::state(const std::string& rule_name) const {
+  for (const RuleState& rs : rules_) {
+    if (rs.rule.name == rule_name) return rs.state;
+  }
+  return AlertState::Inactive;
+}
+
+void SloEvaluator::clear() {
+  for (RuleState& rs : rules_) {
+    rs.state = AlertState::Inactive;
+    rs.violate_streak = 0;
+    rs.ok_streak = 0;
+  }
+  transitions_.clear();
+  fired_ = 0;
+  resolved_ = 0;
+}
+
+}  // namespace ape::obs

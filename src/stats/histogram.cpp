@@ -13,6 +13,7 @@ void Histogram::record(double value) {
 }
 
 void Histogram::merge(const Histogram& other) {
+  if (unit_.empty()) unit_ = other.unit_;
   samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
   sum_ += other.sum_;
   sorted_valid_ = false;

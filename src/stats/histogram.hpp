@@ -18,6 +18,10 @@ class Histogram {
   explicit Histogram(std::string unit) : unit_(std::move(unit)) {}
 
   void record(double value);
+  // Appends `other`'s samples.  Units: an unlabeled histogram adopts
+  // `other`'s unit; when both are labeled and disagree, the receiver keeps
+  // its own unit (values are merged as-is — callers mixing units get the
+  // receiver's label, never a silent relabel of existing samples).
   void merge(const Histogram& other);
   void clear();
 
@@ -29,8 +33,8 @@ class Histogram {
   [[nodiscard]] double max() const noexcept;
   [[nodiscard]] double stddev() const noexcept;
 
-  // Exact order statistic with linear interpolation; q in [0, 1].
-  // Returns 0 for an empty histogram.
+  // Exact order statistic with linear interpolation; q in [0, 1]
+  // (out-of-range q is clamped).  Returns 0 for an empty histogram.
   [[nodiscard]] double percentile(double q) const;
 
   [[nodiscard]] const std::string& unit() const noexcept { return unit_; }

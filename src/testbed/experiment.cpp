@@ -79,7 +79,9 @@ SystemRunResult run_workload(Testbed& testbed, const std::vector<workload::AppSp
 
   // Grace period lets in-flight runs (worst case: delegation + timeouts)
   // complete before aggregation.
-  testbed.simulator().run_until(horizon + sim::seconds(30.0));
+  const sim::Time run_end = horizon + sim::seconds(30.0);
+  testbed.start_timeline(run_end);  // no-op unless the run enables the timeline
+  testbed.simulator().run_until(run_end);
 
   // Snapshot the run's observability state: pull-phase gauges first, then
   // the run.* aggregates, then copy the registry out so the result is
@@ -100,6 +102,10 @@ SystemRunResult run_workload(Testbed& testbed, const std::vector<workload::AppSp
   m.histogram("run.total_ms", "ms").merge(result->total_ms);
   m.histogram("run.ap_hit_total_ms", "ms").merge(result->ap_hit_total_ms);
   m.histogram("run.edge_total_ms", "ms").merge(result->edge_total_ms);
+
+  // Final flush AFTER the run.* aggregates above: the last window absorbs
+  // them, making the timeline an exact partition of the finished registry.
+  testbed.flush_timeline();
   result->metrics = m;
 
   return std::move(*result);

@@ -1,0 +1,267 @@
+#include "testbed/telemetry.hpp"
+
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace ape::testbed {
+
+namespace {
+
+net::Payload to_payload(const std::string& text) {
+  return net::Payload(text.begin(), text.end());
+}
+std::string to_text(const net::Payload& payload) {
+  return std::string(payload.begin(), payload.end());
+}
+
+// Serialization/parse cost model: a fixed dispatch cost plus ~20 ns/byte of
+// text formatting — small against the AP's request path, but nonzero, which
+// is the point of metering it.
+constexpr sim::Duration kScrapeBaseCost = sim::microseconds(250);
+sim::Duration scrape_cost(std::size_t bytes) {
+  return kScrapeBaseCost + sim::microseconds(static_cast<std::int64_t>(bytes / 50));
+}
+
+}  // namespace
+
+std::string encode_telemetry_report(const TelemetryReport& report) {
+  std::ostringstream out;
+  out << "REPORT " << report.from << ' ' << report.windows.size() << ' ' << report.total
+      << '\n';
+  for (const obs::TimelineWindow& w : report.windows) {
+    out << "W " << w.index << ' ' << w.start.since_epoch.count() << ' '
+        << w.end.since_epoch.count() << '\n';
+    for (const auto& [name, delta] : w.counter_deltas) {
+      out << "C " << name << ' ' << delta << '\n';
+    }
+    for (const auto& [name, value] : w.gauges) {
+      out << "G " << name << ' ' << obs::format_double(value) << '\n';
+    }
+    for (const auto& [name, s] : w.histograms) {
+      out << "H " << name << ' ' << (s.unit.empty() ? "-" : s.unit) << ' ' << s.count << ' '
+          << obs::format_double(s.sum) << ' ' << obs::format_double(s.mean) << ' '
+          << obs::format_double(s.min) << ' ' << obs::format_double(s.max) << ' '
+          << obs::format_double(s.p50) << ' ' << obs::format_double(s.p95) << ' '
+          << obs::format_double(s.p99) << '\n';
+    }
+  }
+  out << "END\n";
+  return out.str();
+}
+
+Result<TelemetryReport> decode_telemetry_report(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  if (!std::getline(in, line)) return make_error<TelemetryReport>("empty telemetry report");
+  TelemetryReport report;
+  std::size_t window_count = 0;
+  {
+    std::istringstream header(line);
+    std::string tag;
+    header >> tag >> report.from >> window_count >> report.total;
+    if (header.fail() || tag != "REPORT") {
+      return make_error<TelemetryReport>("bad telemetry report header: " + line);
+    }
+  }
+
+  obs::TimelineWindow* current = nullptr;
+  bool terminated = false;
+  while (std::getline(in, line)) {
+    std::istringstream rec(line);
+    std::string tag;
+    rec >> tag;
+    if (tag == "END") {
+      terminated = true;
+      break;
+    }
+    if (tag == "W") {
+      obs::TimelineWindow w;
+      std::int64_t start_us = 0;
+      std::int64_t end_us = 0;
+      rec >> w.index >> start_us >> end_us;
+      if (rec.fail()) return make_error<TelemetryReport>("bad window record: " + line);
+      w.start = sim::Time{sim::microseconds(start_us)};
+      w.end = sim::Time{sim::microseconds(end_us)};
+      report.windows.push_back(std::move(w));
+      current = &report.windows.back();
+      continue;
+    }
+    if (current == nullptr) {
+      return make_error<TelemetryReport>("record before first window: " + line);
+    }
+    if (tag == "C") {
+      std::string name;
+      std::int64_t delta = 0;
+      rec >> name >> delta;
+      if (rec.fail()) return make_error<TelemetryReport>("bad counter record: " + line);
+      current->counter_deltas.emplace(std::move(name), delta);
+    } else if (tag == "G") {
+      std::string name;
+      double value = 0.0;
+      rec >> name >> value;
+      if (rec.fail()) return make_error<TelemetryReport>("bad gauge record: " + line);
+      current->gauges.emplace(std::move(name), value);
+    } else if (tag == "H") {
+      std::string name;
+      obs::WindowHistogramSummary s;
+      rec >> name >> s.unit >> s.count >> s.sum >> s.mean >> s.min >> s.max >> s.p50 >>
+          s.p95 >> s.p99;
+      if (rec.fail()) return make_error<TelemetryReport>("bad histogram record: " + line);
+      if (s.unit == "-") s.unit.clear();
+      current->histograms.emplace(std::move(name), std::move(s));
+    } else {
+      return make_error<TelemetryReport>("unknown telemetry record: " + line);
+    }
+  }
+  if (!terminated) return make_error<TelemetryReport>("telemetry report missing END");
+  if (report.windows.size() != window_count) {
+    return make_error<TelemetryReport>("telemetry report window count mismatch");
+  }
+  return report;
+}
+
+// ------------------------------------------------------------------ agent
+
+TelemetryAgent::TelemetryAgent(net::Network& network, net::NodeId node,
+                               sim::ServiceQueue& cpu, const obs::Timeline& timeline,
+                               obs::Observer* observer)
+    : network_(network), node_(node), cpu_(cpu), timeline_(timeline), observer_(observer) {
+  network_.bind_udp(node_, kTelemetryAgentPort,
+                    [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+TelemetryAgent::~TelemetryAgent() {
+  network_.unbind_udp(node_, kTelemetryAgentPort);
+}
+
+void TelemetryAgent::on_datagram(const net::Datagram& dgram) {
+  std::istringstream in(to_text(dgram.payload));
+  std::string verb;
+  std::uint64_t from = 0;
+  in >> verb >> from;
+  if (in.fail() || verb != "SCRAPE") return;
+  if (observer_ != nullptr) {
+    observer_->count("ap.telemetry.rx_bytes", dgram.size_bytes() + net::kUdpOverheadBytes);
+  }
+
+  TelemetryReport report;
+  report.from = from;
+  report.total = timeline_.windows().size();
+  for (const obs::TimelineWindow& w : timeline_.windows()) {
+    if (w.index >= from) report.windows.push_back(w);
+  }
+  std::string reply = encode_telemetry_report(report);
+  const std::size_t reply_bytes = reply.size();
+  const std::size_t shipped = report.windows.size();
+  const net::Endpoint requester = dgram.source;
+
+  // Serialization is AP CPU work; the reply leaves once it is done.
+  cpu_.submit(scrape_cost(reply_bytes), [this, reply = std::move(reply), reply_bytes,
+                                         shipped, requester] {
+    ++scrapes_served_;
+    if (observer_ != nullptr) {
+      observer_->count("ap.telemetry.scrapes");
+      observer_->count("ap.telemetry.windows_shipped", shipped);
+      observer_->count("ap.telemetry.tx_bytes", reply_bytes + net::kUdpOverheadBytes);
+    }
+    network_.send_datagram(node_, kTelemetryAgentPort, requester, to_payload(reply));
+  });
+}
+
+// -------------------------------------------------------------- collector
+
+TelemetryCollector::TelemetryCollector(net::Network& network, net::NodeId node,
+                                       net::Endpoint agent, sim::Duration interval,
+                                       obs::Observer* observer)
+    : network_(network),
+      node_(node),
+      agent_(agent),
+      interval_(interval),
+      observer_(observer),
+      cpu_(network.simulator(), 2) {
+  network_.bind_udp(node_, kTelemetryCollectorPort,
+                    [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+TelemetryCollector::~TelemetryCollector() {
+  if (timer_ != 0) network_.simulator().cancel(timer_);
+  network_.unbind_udp(node_, kTelemetryCollectorPort);
+}
+
+void TelemetryCollector::start(sim::Time until) {
+  until_ = until;
+  schedule_next();
+}
+
+void TelemetryCollector::schedule_next() {
+  if (network_.simulator().now() + interval_ > until_) {
+    timer_ = 0;
+    return;
+  }
+  timer_ = network_.simulator().schedule_in(interval_, [this] {
+    send_scrape();
+    schedule_next();
+  });
+}
+
+void TelemetryCollector::send_scrape() {
+  if (in_flight_) {
+    // The previous report has not come back yet — do not pile on.
+    if (observer_ != nullptr) observer_->count("controller.telemetry.scrapes_skipped");
+    return;
+  }
+  const std::string request = "SCRAPE " + std::to_string(next_from_);
+  in_flight_ = true;
+  sent_at_ = network_.simulator().now();
+  ++scrapes_sent_;
+  if (observer_ != nullptr) {
+    observer_->count("controller.telemetry.scrapes");
+    observer_->count("controller.telemetry.tx_bytes",
+                     request.size() + net::kUdpOverheadBytes);
+  }
+  network_.send_datagram(node_, kTelemetryCollectorPort, agent_, to_payload(request));
+}
+
+void TelemetryCollector::on_datagram(const net::Datagram& dgram) {
+  const std::size_t wire_bytes = dgram.size_bytes() + net::kUdpOverheadBytes;
+  if (observer_ != nullptr) observer_->count("controller.telemetry.rx_bytes", wire_bytes);
+  std::string text = to_text(dgram.payload);
+  cpu_.submit(scrape_cost(text.size()),
+              [this, text = std::move(text)] { handle_report(text); });
+}
+
+void TelemetryCollector::handle_report(const std::string& text) {
+  in_flight_ = false;
+  auto decoded = decode_telemetry_report(text);
+  if (!decoded) {
+    if (observer_ != nullptr) observer_->count("controller.telemetry.decode_errors");
+    return;
+  }
+  TelemetryReport& report = decoded.value();
+  ++reports_received_;
+
+  std::size_t accepted = 0;
+  for (obs::TimelineWindow& w : report.windows) {
+    if (w.index < next_from_) continue;  // duplicate delivery; already applied
+    next_from_ = w.index + 1;
+    slo_.observe(w);
+    windows_.push_back(std::move(w));
+    ++accepted;
+  }
+
+  if (observer_ != nullptr) {
+    obs::MetricsRegistry& m = observer_->metrics();
+    m.counter("controller.telemetry.reports").add(1);
+    m.counter("controller.telemetry.windows").add(accepted);
+    m.histogram("controller.telemetry.scrape_rtt_ms", "ms")
+        .record(sim::to_millis(network_.simulator().now() - sent_at_));
+    // Set-style: the evaluator owns the tallies, the registry mirrors them.
+    m.counter("slo.alerts_fired").set(slo_.fired());
+    m.counter("slo.alerts_resolved").set(slo_.resolved());
+    m.counter("slo.transitions").set(slo_.transitions().size());
+  }
+}
+
+}  // namespace ape::testbed

@@ -20,6 +20,50 @@ Testbed::Testbed(TestbedParams params)
   build_topology();
   build_dns();
   build_servers();
+  if (params_.enable_timeline) build_telemetry();
+}
+
+Testbed::~Testbed() {
+  if (timeline_tick_ != 0) sim_.cancel(timeline_tick_);
+}
+
+void Testbed::build_telemetry() {
+  obs_.timeline().set_enabled(true);
+  obs_.timeline().set_interval(params_.timeline_interval);
+  telemetry_agent_ = std::make_unique<TelemetryAgent>(*network_, ap_node_, ap_->cpu(),
+                                                      obs_.timeline(), &obs_);
+  telemetry_collector_ = std::make_unique<TelemetryCollector>(
+      *network_, controller_node_, net::Endpoint{ap_ip_, kTelemetryAgentPort},
+      params_.telemetry_scrape_interval, &obs_);
+  for (const std::string& text : params_.slo_rules) {
+    auto rule = obs::parse_slo_rule(text);
+    assert(rule.ok() && "TestbedParams::slo_rules must parse (see obs/slo.hpp grammar)");
+    if (rule.ok()) telemetry_collector_->slo().add_rule(std::move(rule).value());
+  }
+}
+
+void Testbed::start_timeline(sim::Time until) {
+  if (!obs_.timeline_enabled()) return;
+  timeline_until_ = until;
+  schedule_timeline_tick();
+  if (telemetry_collector_ != nullptr) telemetry_collector_->start(until);
+}
+
+void Testbed::schedule_timeline_tick() {
+  timeline_tick_ = sim_.schedule_in(obs_.timeline().interval(), [this] {
+    timeline_tick_ = 0;
+    collect_metrics();
+    obs_.timeline().capture(obs_.metrics(), sim_.now());
+    if (sim_.now() + obs_.timeline().interval() <= timeline_until_) {
+      schedule_timeline_tick();
+    }
+  });
+}
+
+void Testbed::flush_timeline() {
+  if (!obs_.timeline_enabled()) return;
+  collect_metrics();
+  obs_.timeline().capture(obs_.metrics(), sim_.now());
 }
 
 void Testbed::build_topology() {
@@ -125,6 +169,9 @@ void Testbed::build_ap() {
 void Testbed::restart_ap(bool preserve_flash) {
   assert(ap_ != nullptr);
   assert(wicache_agent_ == nullptr && "restart_ap models APE firmware restarts only");
+  // The telemetry agent captures the old runtime's ServiceQueue by
+  // reference; timeline runs must not restart the AP.
+  assert(telemetry_agent_ == nullptr && "restart_ap is unsupported in timeline runs");
   // Completion events capture the runtime; tearing it down mid-flight is UB.
   assert(ap_->cpu().busy_servers() == 0 && ap_->cpu().queued() == 0 &&
          "restart_ap requires a quiesced AP (drain the sim first)");

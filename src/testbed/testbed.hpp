@@ -25,6 +25,7 @@
 #include "http/edge_server.hpp"
 #include "obs/observer.hpp"
 #include "sim/resource_meter.hpp"
+#include "testbed/telemetry.hpp"
 #include "workload/app_model.hpp"
 
 namespace ape::testbed {
@@ -70,11 +71,23 @@ struct TestbedParams {
   // bytes), so traced runs are *not* byte-identical to default runs.
   bool enable_spans = false;
   std::size_t span_capacity = obs::SpanLog::kDefaultCapacity;
+
+  // Windowed time-series telemetry + in-sim scrape path (DESIGN.md §5g).
+  // Off by default: enabling it schedules capture ticks and puts scrape
+  // datagrams on the simulated network, so timeline runs are *not*
+  // byte-identical to default runs.
+  bool enable_timeline = false;
+  sim::Duration timeline_interval{sim::seconds(30.0)};
+  sim::Duration telemetry_scrape_interval{sim::seconds(60.0)};
+  // SLO rules (obs::parse_slo_rule grammar) loaded into the collector's
+  // evaluator; a rule that fails to parse is a programming error (assert).
+  std::vector<std::string> slo_rules;
 };
 
 class Testbed {
  public:
   explicit Testbed(TestbedParams params);
+  ~Testbed();
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
@@ -142,11 +155,31 @@ class Testbed {
   // the config has no flash tier.
   [[nodiscard]] store::FlashMedia* flash_media() noexcept { return flash_media_.get(); }
 
+  // --- timeline telemetry (enable_timeline runs only) -----------------------
+  // Schedules the periodic capture tick (collect_metrics + Timeline::capture
+  // through the delta cursor) and the collector's scrape loop, every
+  // `timeline_interval` / `telemetry_scrape_interval` until `until`.
+  void start_timeline(sim::Time until);
+
+  // Final capture after the last registry mutation, so the windows
+  // partition the run exactly and Timeline::reconcile holds.  Call once,
+  // after the run and after any post-run counters are written.
+  void flush_timeline();
+
+  [[nodiscard]] TelemetryCollector* telemetry_collector() noexcept {
+    return telemetry_collector_.get();
+  }
+  [[nodiscard]] TelemetryAgent* telemetry_agent() noexcept {
+    return telemetry_agent_.get();
+  }
+
  private:
   void build_topology();
   void build_dns();
   void build_servers();
   void build_ap();
+  void build_telemetry();
+  void schedule_timeline_tick();
 
   TestbedParams params_;
   obs::Observer obs_;
@@ -172,6 +205,10 @@ class Testbed {
   std::unique_ptr<baselines::WiCacheController> wicache_controller_;
   std::unique_ptr<baselines::WiCacheApAgent> wicache_agent_;
   std::unique_ptr<sim::ResourceMeter> meter_;
+  std::unique_ptr<TelemetryAgent> telemetry_agent_;
+  std::unique_ptr<TelemetryCollector> telemetry_collector_;
+  sim::Time timeline_until_{};
+  sim::Simulator::EventId timeline_tick_ = 0;
 
   std::vector<std::unique_ptr<Client>> clients_;
   net::Port next_client_port_ = 49152;

@@ -1,0 +1,62 @@
+// Fixture: a window-capture path (function named capture*/scrape*) reading
+// the MetricsRegistry directly must fire — only the DeltaCursor's advance()
+// may consume the registry, or the same increment lands in two windows.
+// Reads routed through the cursor, and registry reads in non-capture
+// functions, must not fire.
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Counter {
+  std::uint64_t value = 0;
+};
+
+class MetricsRegistry {
+ public:
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Counter>& histograms() const { return counters_; }
+  Counter& counter(const std::string& name) { return counters_[name]; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+struct Window {
+  std::map<std::string, long long> deltas;
+};
+
+class DeltaCursor {
+ public:
+  Window advance(const MetricsRegistry& registry) {
+    Window window;
+    for (const auto& [name, counter] : registry.counters()) {
+      window.deltas[name] = static_cast<long long>(counter.value);
+    }
+    return window;
+  }
+};
+
+inline Window capture_bypassing_cursor(const MetricsRegistry& registry) {
+  Window window;
+  for (const auto& [name, counter] : registry.counters()) {  // expect-lint: cursor-bypass
+    window.deltas[name] = static_cast<long long>(counter.value);
+  }
+  return window;
+}
+
+inline long long scrape_and_resolve(MetricsRegistry& registry) {
+  return static_cast<long long>(registry.counter("ap.cache.hit").value);  // expect-lint: cursor-bypass
+}
+
+inline Window capture_via_cursor(DeltaCursor& cursor, const MetricsRegistry& registry) {
+  return cursor.advance(registry);
+}
+
+// Not a capture path: ordinary collection code may read the registry.
+inline std::size_t count_counters(const MetricsRegistry& registry) {
+  return registry.counters().size();
+}
+
+}  // namespace fixture

@@ -77,6 +77,32 @@ TEST(Histogram, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.mean(), 2.0);
 }
 
+TEST(Histogram, MergeAdoptsUnitWhenUnlabeled) {
+  Histogram a;  // default-constructed: no unit yet
+  Histogram b("ms");
+  b.record(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.unit(), "ms");
+}
+
+TEST(Histogram, MergeKeepsReceiverUnitOnMismatch) {
+  Histogram a("ms");
+  Histogram b("bytes");
+  a.record(1.0);
+  b.record(3.0);
+  a.merge(b);
+  // Never a silent relabel of existing samples: the receiver's unit wins.
+  EXPECT_EQ(a.unit(), "ms");
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, MergeEmptyIntoEmptyKeepsStateSane) {
+  Histogram a, b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_DOUBLE_EQ(a.percentile(0.99), 0.0);
+}
+
 TEST(Histogram, ClearResets) {
   Histogram h;
   h.record(5.0);

@@ -32,6 +32,14 @@ Checks
                     open_root() that is never mentioned again after the
                     opening statement — it can never be closed, so the span
                     stays open and validate_spans() flags the whole trace.
+  cursor-bypass     a direct MetricsRegistry read (.counters()/.gauges()/
+                    .histograms()/.counter()/...) inside the body of a
+                    window-capture function (name starting with `capture` or
+                    `scrape`) — those paths must read through the Timeline
+                    DeltaCursor (advance()), or the same increment lands in
+                    two windows and delta-sum reconciliation breaks (the
+                    idempotency-cursor trap record_span_histograms guards
+                    against).
 
 Allowlisting
 ------------
@@ -62,7 +70,8 @@ import re
 import sys
 from typing import Dict, List, Set, Tuple
 
-CHECKS = ("wallclock", "unordered-iter", "discarded-result", "raw-seconds", "span-leak")
+CHECKS = ("wallclock", "unordered-iter", "discarded-result", "raw-seconds", "span-leak",
+          "cursor-bypass")
 
 SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
 
@@ -477,6 +486,71 @@ def check_span_leak(sf: SourceFile) -> List[Finding]:
     return findings
 
 
+# A window-capture function: unqualified name starting with capture/scrape.
+# The lookbehind rejects `.capture(`/`->capture(` method *calls* so only the
+# definition site (optionally `Class::capture(`) is scanned.
+CAPTURE_FN_NAME_RE = re.compile(r"(?<![\w.>])((?:capture|scrape)\w*)\s*\(")
+
+# Direct registry reads that bypass the delta cursor.  The lookup-or-create
+# accessors are included: resolving an instrument mid-capture is the same
+# double-count trap as walking the maps.
+REGISTRY_READ_RE = re.compile(
+    r"\b[A-Za-z_]\w*(?:\.|->)(counters|gauges|histograms|counter|gauge|histogram)\s*\("
+)
+
+
+def check_cursor_bypass(sf: SourceFile) -> List[Finding]:
+    findings = []
+    n = len(sf.code)
+    for m in CAPTURE_FN_NAME_RE.finditer(sf.code):
+        # Balanced parameter list, then optional qualifiers, then `{` — a
+        # definition.  Calls / declarations end in `;` and are skipped.
+        i = m.end() - 1
+        depth = 0
+        while i < n:
+            c = sf.code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= n:
+            continue
+        qual = re.match(r"(?:\s|const\b|noexcept\b|override\b|final\b)*\{", sf.code[i + 1 :])
+        if not qual:
+            continue
+        body_start = i + 1 + qual.end() - 1
+        k = body_start
+        depth = 0
+        while k < n:
+            c = sf.code[k]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        body = sf.code[body_start:k]
+        for rm in REGISTRY_READ_RE.finditer(body):
+            line = sf.line_of_offset(body_start + rm.start())
+            findings.append(
+                Finding(
+                    sf.path,
+                    line,
+                    "cursor-bypass",
+                    f"direct MetricsRegistry read `.{rm.group(1)}(...)` inside "
+                    f"window-capture path `{m.group(1)}` — route reads through "
+                    "the Timeline DeltaCursor (advance()) so every increment "
+                    "lands in exactly one window; annotate a deliberate "
+                    "non-windowed read with `// ape-lint: allow(cursor-bypass)`",
+                )
+            )
+    return findings
+
+
 def check_raw_seconds(sf: SourceFile) -> List[Finding]:
     findings = []
     for m in RAW_SECONDS_RE.finditer(sf.code):
@@ -523,6 +597,7 @@ def run_checks(
         raw += check_discarded_result(sf, result_fns)
         raw += check_raw_seconds(sf)
         raw += check_span_leak(sf)
+        raw += check_cursor_bypass(sf)
         seen = set()
         for f in raw:
             if sf.allowed(f.line, f.check):

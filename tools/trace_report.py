@@ -207,7 +207,7 @@ def main() -> int:
 
     if args.validate:
         print(f"OK: {len(traces)} traces / {len(spans)} spans validated; "
-              f"all attributions reconcile exactly")
+              "all attributions reconcile exactly")
         return 0
 
     report(traces)
