@@ -68,6 +68,12 @@ class BenchReporter {
     registry_.counter(name).set(value);
   }
 
+  // Opt-in: also emit the registry's Volatility::Volatile section in the
+  // `--json` snapshot.  Benches that report wall-clock-derived rates
+  // (bench_engine's events/sec) need this; the stable sections stay
+  // byte-identical either way.
+  void export_volatile(bool on) noexcept { export_volatile_ = on; }
+
   // Folds a run's full metrics snapshot in under `prefix.` — lining up
   // APE-CACHE / LRU / Wi-Cache / edge-only runs inside one file.
   void merge_run(const testbed::SystemRunResult& result, const std::string& prefix) {
@@ -78,6 +84,7 @@ class BenchReporter {
   [[nodiscard]] int finish() {
     obs::ExportOptions options;
     options.meta["bench"] = name_;
+    options.include_volatile = export_volatile_;
     int rc = 0;
     if (!json_path_.empty()) {
       if (obs::write_json_file(json_path_, registry_, nullptr, options)) {
@@ -106,6 +113,7 @@ class BenchReporter {
   std::string csv_path_;
   std::string trace_path_;
   std::string timeline_path_;
+  bool export_volatile_ = false;
   obs::MetricsRegistry registry_;
 };
 

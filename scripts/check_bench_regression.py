@@ -30,7 +30,8 @@ import sys
 SCHEMA = "ape.obs.v1"
 
 # Metric families that gate CI (matched against the flattened name).
-DEFAULT_WATCH = r"(hit_ratio|recovery_ratio|p50|p99|events_fired|alerts_fired|telemetry)"
+DEFAULT_WATCH = (r"(hit_ratio|recovery_ratio|p50|p99|events_fired|alerts_fired|telemetry"
+                 r"|events_per_sec|order_digest)")
 
 # Histogram fields worth comparing (count is exact; the rest are values).
 HISTOGRAM_FIELDS = ("count", "mean", "p50", "p90", "p95", "p99", "min", "max")
@@ -96,11 +97,19 @@ def main() -> int:
                         help="gate on every metric, not just --watch matches")
     parser.add_argument("--include-volatile", action="store_true",
                         help="also compare the volatile (wall-clock) section")
+    parser.add_argument("--floor-only", action="store_true",
+                        help="one-sided gate: fail only when current falls "
+                             "below baseline by more than the tolerance — for "
+                             "throughput metrics (events_per_sec) where being "
+                             "faster is never a regression")
     parser.add_argument("--verbose", action="store_true",
                         help="print every compared metric, not just failures")
     args = parser.parse_args()
 
-    base = flatten(load(args.baseline), args.include_volatile)
+    # --list-watched always surfaces the volatile section too: the watch
+    # set is documentation of what the gate *could* compare, and the
+    # engine-perf lane's headline metric (events_per_sec) lives there.
+    base = flatten(load(args.baseline), args.include_volatile or args.list_watched)
     watch = re.compile(args.watch)
 
     watched = sorted(n for n in base if args.all or watch.search(n))
@@ -122,7 +131,14 @@ def main() -> int:
         if name not in cur:
             failures.append((name, base[name], None, float("inf")))
             continue
-        drift = relative_drift(base[name], cur[name])
+        if args.floor_only:
+            # Only a shortfall counts; matching or beating baseline is 0 drift.
+            if base[name] == 0.0:
+                drift = 0.0
+            else:
+                drift = max(0.0, (base[name] - cur[name]) / abs(base[name]))
+        else:
+            drift = relative_drift(base[name], cur[name])
         status = "FAIL" if drift > args.tolerance else "ok"
         if args.verbose or status == "FAIL":
             drift_pct = "missing" if cur.get(name) is None else f"{drift * 100:.1f}%"

@@ -58,6 +58,30 @@ ApRuntime::ApRuntime(net::Network& network, net::TcpTransport& tcp, net::NodeId 
     hit_counter_ = &observer_->metrics().counter("ap.cache.hit");
     miss_counter_ = &observer_->metrics().counter("ap.cache.miss");
     delegation_flag_counter_ = &observer_->metrics().counter("ap.cache.delegation");
+    // Per-request instruments: bind lazily resolving handles once, so the
+    // DNS/HTTP hot paths never repeat a by-name map lookup.  Lazy (not
+    // resolve()d here) on purpose — an instrument only materialises in the
+    // export after its first event, exactly like the by-name calls these
+    // replace.
+    obs::MetricsRegistry& m = observer_->metrics();
+    hot_.dns_cache_queries = {m, "ap.dns.cache_queries"};
+    hot_.dns_cache_rr_emitted = {m, "ap.dns.cache_rr_emitted"};
+    hot_.dns_flags_emitted = {m, "ap.dns.flags_emitted"};
+    hot_.dns_short_circuit = {m, "dns.short_circuit"};
+    hot_.dns_upstream_avoided = {m, "dns.upstream_avoided"};
+    hot_.dns_regular_queries = {m, "ap.dns.regular_queries"};
+    hot_.dns_record_cache_hit = {m, "ap.dns.record_cache_hit"};
+    hot_.dns_upstream_queries = {m, "ap.dns.upstream_queries"};
+    hot_.http_cache_serves = {m, "ap.http.cache_serves"};
+    hot_.http_bytes_from_cache = {m, "ap.http.bytes_from_cache"};
+    hot_.http_flash_serves = {m, "ap.http.flash_serves"};
+    hot_.http_race_fallback = {m, "ap.http.race_fallback"};
+    hot_.delegations = {m, "ap.delegations"};
+    hot_.revalidations = {m, "ap.revalidations"};
+    hot_.block_listed = {m, "ap.block_listed"};
+    hot_.cache_inserts = {m, "ap.cache.inserts"};
+    hot_.delegation_bytes_fetched = {m, "ap.delegation.bytes_fetched"};
+    hot_.latency_estimate_error_ms = {m, "pacm.latency_estimate_error_ms", "ms"};
   }
   data_cache_->set_retain_expired(options_.config.enable_revalidation);
 
@@ -298,18 +322,16 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
 
   // Charge the marginal cache-lookup cost on top of the base DNS service
   // time already paid in DnsServer::on_datagram.
-  if (observer_ != nullptr) observer_->count("ap.dns.cache_queries");
+  hot_.dns_cache_queries.add();
   cpu_.submit(options_.config.cache_lookup_extra,
               [this, query, domain, lookup_span, requested = view.value().entries,
                respond = std::move(respond)]() mutable {
     const FlagSet flags = collect_flags(domain, requested);
     std::vector<dns::ResourceRecord> additionals;
     additionals.push_back(make_cache_response_rr(domain, flags.entries));
-    if (observer_ != nullptr) {
-      // One TYPE=300 RR per response, batching one flag per known URL.
-      observer_->count("ap.dns.cache_rr_emitted");
-      observer_->count("ap.dns.flags_emitted", flags.entries.size());
-    }
+    // One TYPE=300 RR per response, batching one flag per known URL.
+    hot_.dns_cache_rr_emitted.add();
+    hot_.dns_flags_emitted.add(flags.entries.size());
 
     if (!flags.needs_edge && !flags.entries.empty()) {
       // No URL under this domain requires the edge directly: Cache-Hits are
@@ -319,9 +341,9 @@ void ApRuntime::handle_dns_query(const dns::DnsMessage& query, net::Endpoint /*c
       // the all-cached special case; extending it to delegations keeps the
       // lookup millisecond-level during cache warm-up as well — see
       // DESIGN.md.)  Block-listed URLs force a real answer.
+      hot_.dns_short_circuit.add();
+      hot_.dns_upstream_avoided.add();
       if (observer_ != nullptr) {
-        observer_->count("dns.short_circuit");
-        observer_->count("dns.upstream_avoided");
         observer_->event(network_.simulator().now(), "ap", "dns_short_circuit",
                          domain.to_string(),
                          "flags=" + std::to_string(flags.entries.size()));
@@ -360,7 +382,7 @@ void ApRuntime::handle_regular_dns(const dns::DnsMessage& query,
     respond(dns::make_response_for(query, dns::Rcode::NotImp));
     return;
   }
-  if (observer_ != nullptr) observer_->count("ap.dns.regular_queries");
+  hot_.dns_regular_queries.add();
   const dns::DnsName name = query.questions.front().name;
   resolve_upstream(name, parent, [this, query, name, respond = std::move(respond)](
                                      Result<DnsCacheEntry> resolved) mutable {
@@ -380,14 +402,14 @@ void ApRuntime::resolve_upstream(const dns::DnsName& name, const obs::TraceConte
   const sim::Time now = network_.simulator().now();
   if (auto it = dns_cache_.find(name); it != dns_cache_.end()) {
     if (it->second.expires > now) {
-      if (observer_ != nullptr) observer_->count("ap.dns.record_cache_hit");
+      hot_.dns_record_cache_hit.add();
       done(it->second);
       return;
     }
     dns_cache_.erase(it);
   }
 
-  if (observer_ != nullptr) observer_->count("ap.dns.upstream_queries");
+  hot_.dns_upstream_queries.add();
   obs::TraceContext up_span;
   if (obs::SpanLog* log = spans(); log != nullptr) {
     up_span = log->open(parent, "dns.upstream", "ap", name.to_string(), now);
@@ -484,10 +506,8 @@ ApRuntime::FlagSet ApRuntime::collect_flags(const dns::DnsName& domain,
 void ApRuntime::serve_from_cache(const cache::CacheEntry& entry,
                                  http::HttpServer::Responder respond) {
   account_served_bytes(entry.size_bytes);
-  if (observer_ != nullptr) {
-    observer_->count("ap.http.cache_serves");
-    observer_->count("ap.http.bytes_from_cache", entry.size_bytes);
-  }
+  hot_.http_cache_serves.add();
+  hot_.http_bytes_from_cache.add(entry.size_bytes);
   http::HttpResponse resp;
   resp.status = 200;
   resp.simulated_body_bytes = entry.size_bytes;
@@ -547,10 +567,8 @@ void ApRuntime::handle_http(const http::HttpRequest& request,
   if (tiered_ != nullptr && tiered_->flash_contains(key, now)) {
     // Flash hit: read the body off the device (paying flash time rather
     // than an edge round trip), promote if the RAM policy takes it, serve.
-    if (observer_ != nullptr) {
-      observer_->count("ap.http.flash_serves");
-      observer_->event(now, "ap", "flash_hit", key);
-    }
+    hot_.http_flash_serves.add();
+    if (observer_ != nullptr) observer_->event(now, "ap", "flash_hit", key);
     obs::ScopedTraceContext ambient(spans(), serve_span);  // -> ap.flash.read
     tiered_->fetch_flash(
         key, now,
@@ -576,10 +594,10 @@ void ApRuntime::finish_http_miss(const http::HttpRequest& request, UrlHash hash,
   if (!is_delegation) {
     // Plain cache fetch that raced an eviction/expiry: the client falls
     // back to the edge on 404.
+    hot_.http_race_fallback.add();
     if (observer_ != nullptr) {
-      const sim::Time now = network_.simulator().now();
-      observer_->count("ap.http.race_fallback");
-      observer_->event(now, "ap", "race_fallback", hash_to_string(hash));
+      observer_->event(network_.simulator().now(), "ap", "race_fallback",
+                       hash_to_string(hash));
     }
     respond(http::make_status_response(404, "not in AP cache"));
     return;
@@ -625,10 +643,8 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
 
   ++delegations_;
   const sim::Time fetch_start = network_.simulator().now();
-  if (observer_ != nullptr) {
-    observer_->count("ap.delegations");
-    observer_->event(fetch_start, "ap", "delegate", base);
-  }
+  hot_.delegations.add();
+  if (observer_ != nullptr) observer_->event(fetch_start, "ap", "delegate", base);
 
   obs::TraceContext delegate_span;
   if (obs::SpanLog* log = spans(); log != nullptr) {
@@ -683,10 +699,8 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
             // Not modified: refresh the stale entry's lifetime and serve it
             // locally — no body crossed the WAN.
             ++revalidations_;
-            if (observer_ != nullptr) {
-              observer_->count("ap.revalidations");
-              observer_->event(now, "ap", "revalidate", key);
-            }
+            hot_.revalidations.add();
+            if (observer_ != nullptr) observer_->event(now, "ap", "revalidate", key);
             cache::CacheEntry entry = std::move(*stale);
             std::uint32_t ttl = ttl_seconds;
             if (const auto* v =
@@ -724,9 +738,8 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
             if (auto info_it = url_index_.find(hash); info_it != url_index_.end()) {
               const double measured_ms = sim::to_millis(fetch_latency);
               if (info_it->second.last_fetch_ms >= 0.0) {
-                observer_->metrics()
-                    .histogram("pacm.latency_estimate_error_ms", "ms")
-                    .record(std::abs(measured_ms - info_it->second.last_fetch_ms));
+                hot_.latency_estimate_error_ms.record(
+                    std::abs(measured_ms - info_it->second.last_fetch_ms));
               }
               info_it->second.last_fetch_ms = measured_ms;
             }
@@ -735,8 +748,8 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
           if (block_list_.should_block(size)) {
             // Too large to ever cache: remember that and stop delegating.
             block_list_.block(key);
+            hot_.block_listed.add();
             if (observer_ != nullptr) {
-              observer_->count("ap.block_listed");
               observer_->event(now, "ap", "block_list", key,
                                std::to_string(size) + " bytes");
             }
@@ -755,9 +768,9 @@ void ApRuntime::delegate_fetch(const http::HttpRequest& request, UrlHash hash,
               obs::ScopedTraceContext insert_ambient(spans(), delegate_span);
               insert_object(std::move(entry), now);
             }
+            hot_.cache_inserts.add();
+            hot_.delegation_bytes_fetched.add(size);
             if (observer_ != nullptr) {
-              observer_->count("ap.cache.inserts");
-              observer_->count("ap.delegation.bytes_fetched", size);
               observer_->event(now, "ap", "admit", key, std::to_string(size) + " bytes");
             }
           }

@@ -217,12 +217,33 @@ class ApRuntime {
   std::size_t delegations_ = 0;
   std::size_t revalidations_ = 0;
 
-  // Hot-path instruments, resolved once at construction (null when
-  // unobserved).  Everything else goes through observer_ by name.
+  // Hot-path instruments: handles bound once at construction (no-ops when
+  // unobserved), so the per-request DNS/HTTP paths never repeat a by-name
+  // map lookup.  Snapshot-time gauges still go through observer_ by name.
   obs::Observer* observer_ = nullptr;
   obs::Counter* hit_counter_ = nullptr;
   obs::Counter* miss_counter_ = nullptr;
   obs::Counter* delegation_flag_counter_ = nullptr;
+  struct HotMetrics {
+    obs::CounterHandle dns_cache_queries;
+    obs::CounterHandle dns_cache_rr_emitted;
+    obs::CounterHandle dns_flags_emitted;
+    obs::CounterHandle dns_short_circuit;
+    obs::CounterHandle dns_upstream_avoided;
+    obs::CounterHandle dns_regular_queries;
+    obs::CounterHandle dns_record_cache_hit;
+    obs::CounterHandle dns_upstream_queries;
+    obs::CounterHandle http_cache_serves;
+    obs::CounterHandle http_bytes_from_cache;
+    obs::CounterHandle http_flash_serves;
+    obs::CounterHandle http_race_fallback;
+    obs::CounterHandle delegations;
+    obs::CounterHandle revalidations;
+    obs::CounterHandle block_listed;
+    obs::CounterHandle cache_inserts;
+    obs::CounterHandle delegation_bytes_fetched;
+    obs::HistogramHandle latency_estimate_error_ms;
+  } hot_;
 };
 
 }  // namespace ape::core

@@ -24,7 +24,24 @@ ClientRuntime::ClientRuntime(net::Network& network, net::TcpTransport& tcp, net:
       node_(node),
       options_(options),
       dns_(network, node, dns_port),
-      http_(tcp, node) {}
+      http_(tcp, node) {
+  if (options_.observer != nullptr) {
+    // Lazy handles on purpose: each instrument materialises in the export
+    // at its first event, exactly like the by-name lookups these replace.
+    obs::MetricsRegistry& m = options_.observer->metrics();
+    hot_.fetches = {m, "client.fetches"};
+    hot_.fetch_failures = {m, "client.fetch.failures"};
+    hot_.fetch_ap_hit = {m, "client.fetch.ap_hit"};
+    hot_.fetch_ap_delegated = {m, "client.fetch.ap_delegated"};
+    hot_.fetch_edge = {m, "client.fetch.edge"};
+    hot_.fetch_unknown = {m, "client.fetch.unknown"};
+    hot_.lookup_flag_reuse = {m, "client.lookup.flag_reuse"};
+    hot_.bytes_received = {m, "client.bytes_received"};
+    hot_.lookup_ms = {m, "client.lookup_ms", "ms"};
+    hot_.retrieval_ms = {m, "client.retrieval_ms", "ms"};
+    hot_.total_ms = {m, "client.total_ms", "ms"};
+  }
+}
 
 void ClientRuntime::register_cacheable(CacheableSpec spec) {
   auto key = spec.id;
@@ -59,25 +76,21 @@ void ClientRuntime::finish(FetchHandler& handler, const obs::TraceContext& root,
   if (obs::SpanLog* log = spans(); log != nullptr) {
     log->close(root, network_.simulator().now());
   }
-  if (obs::Observer* obs = options_.observer; obs != nullptr) {
-    obs::MetricsRegistry& m = obs->metrics();
-    m.counter("client.fetches").add();
-    if (!result.success) {
-      m.counter("client.fetch.failures").add();
-    } else {
-      switch (result.source) {
-        case Source::ApCache: m.counter("client.fetch.ap_hit").add(); break;
-        case Source::ApDelegated: m.counter("client.fetch.ap_delegated").add(); break;
-        case Source::EdgeServer: m.counter("client.fetch.edge").add(); break;
-        case Source::Unknown: m.counter("client.fetch.unknown").add(); break;
-      }
-      if (result.lookup_from_cache) m.counter("client.lookup.flag_reuse").add();
-      m.counter("client.bytes_received").add(result.bytes);
-      m.histogram("client.lookup_ms", "ms").record(sim::to_millis(result.lookup_latency));
-      m.histogram("client.retrieval_ms", "ms")
-          .record(sim::to_millis(result.retrieval_latency));
-      m.histogram("client.total_ms", "ms").record(sim::to_millis(result.total));
+  hot_.fetches.add();
+  if (!result.success) {
+    hot_.fetch_failures.add();
+  } else {
+    switch (result.source) {
+      case Source::ApCache: hot_.fetch_ap_hit.add(); break;
+      case Source::ApDelegated: hot_.fetch_ap_delegated.add(); break;
+      case Source::EdgeServer: hot_.fetch_edge.add(); break;
+      case Source::Unknown: hot_.fetch_unknown.add(); break;
     }
+    if (result.lookup_from_cache) hot_.lookup_flag_reuse.add();
+    hot_.bytes_received.add(result.bytes);
+    hot_.lookup_ms.record(sim::to_millis(result.lookup_latency));
+    hot_.retrieval_ms.record(sim::to_millis(result.retrieval_latency));
+    hot_.total_ms.record(sim::to_millis(result.total));
   }
   handler(std::move(result));
 }

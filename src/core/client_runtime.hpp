@@ -146,6 +146,23 @@ class ClientRuntime {
   // sequence of simulated requests (ape-lint: unordered-iter).
   std::map<std::string, CacheableSpec> registry_;         // by base URL
   std::unordered_map<std::string, DomainState> domains_;  // by host (keyed lookups only)
+
+  // Per-fetch instruments, bound once at construction (no-ops without an
+  // observer) so finish() — which runs for every simulated request — does
+  // not rebuild metric names and walk the registry map each time.
+  struct HotMetrics {
+    obs::CounterHandle fetches;
+    obs::CounterHandle fetch_failures;
+    obs::CounterHandle fetch_ap_hit;
+    obs::CounterHandle fetch_ap_delegated;
+    obs::CounterHandle fetch_edge;
+    obs::CounterHandle fetch_unknown;
+    obs::CounterHandle lookup_flag_reuse;
+    obs::CounterHandle bytes_received;
+    obs::HistogramHandle lookup_ms;
+    obs::HistogramHandle retrieval_ms;
+    obs::HistogramHandle total_ms;
+  } hot_;
 };
 
 [[nodiscard]] const char* to_string(ClientRuntime::Source source) noexcept;

@@ -1,3 +1,4 @@
+// ape-lint: hot-path
 #include "net/network.hpp"
 
 #include <cassert>
@@ -105,16 +106,36 @@ bool Network::send_datagram(NodeId from, Port source_port, Endpoint to, Payload 
   }
 
   const NodeId target = *dest_node;
-  sim_.schedule_in(*delay, [this, target, d = std::move(dgram)]() mutable {
-    auto it = udp_bindings_.find(bind_key(target, d.destination.port));
-    if (it == udp_bindings_.end()) {
-      ++counters_.datagrams_dropped;
-      return;
-    }
+  std::uint32_t slot;
+  if (free_slot_ != kNoSlot) {
+    slot = free_slot_;
+    free_slot_ = in_flight_[slot].next_free;
+    in_flight_[slot].next_free = kNoSlot;
+    in_flight_[slot].dgram = std::move(dgram);
+  } else {
+    slot = static_cast<std::uint32_t>(in_flight_.size());
+    in_flight_.push_back(InFlight{std::move(dgram), kNoSlot});
+  }
+  sim_.schedule_in(*delay, [this, target, slot] { deliver(target, slot); });
+  return true;
+}
+
+void Network::deliver(NodeId target, std::uint32_t slot) {
+  // Move the datagram out before invoking the handler: handlers routinely
+  // send datagrams of their own, which can grow (and reallocate) the
+  // in-flight arena, so they must never see arena memory directly.
+  Datagram d = std::move(in_flight_[slot].dgram);
+  auto it = udp_bindings_.find(bind_key(target, d.destination.port));
+  if (it == udp_bindings_.end()) {
+    ++counters_.datagrams_dropped;
+  } else {
     ++counters_.datagrams_delivered;
     it->second(d);
-  });
-  return true;
+  }
+  // Fresh indexed access — re-entrant sends may have moved the vector.
+  InFlight& parked = in_flight_[slot];
+  parked.next_free = free_slot_;
+  free_slot_ = slot;
 }
 
 }  // namespace ape::net

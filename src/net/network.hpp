@@ -3,6 +3,12 @@
 // Delivery time = path one-way latency + wire-size / bottleneck bandwidth.
 // Unroutable destinations and unbound ports drop silently (UDP semantics)
 // but are counted, so tests can assert on loss.
+//
+// In-flight datagrams are parked in a freelist-recycled slot arena
+// (DESIGN.md §5h): the delivery event captures only {this, target, slot},
+// which fits the simulator's inline callback storage, instead of hauling
+// the whole Datagram through a heap-allocated closure.
+// ape-lint: hot-path
 #pragma once
 
 #include <functional>
@@ -52,15 +58,29 @@ class Network {
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 
  private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  // One parked in-flight datagram; free slots chain through next_free.
+  struct InFlight {
+    Datagram dgram;
+    std::uint32_t next_free = kNoSlot;
+  };
+
   [[nodiscard]] std::uint64_t bind_key(NodeId node, Port port) const noexcept {
     return (std::uint64_t{node.value} << 16) | port;
   }
+
+  // Fires when the wire delay elapses: looks up the binding and hands the
+  // slot's datagram to it, then recycles the slot.
+  void deliver(NodeId target, std::uint32_t slot);
 
   sim::Simulator& sim_;
   Topology& topology_;
   std::unordered_map<IpAddress, NodeId> ip_to_node_;
   std::unordered_map<NodeId, IpAddress> node_to_ip_;
   std::unordered_map<std::uint64_t, DatagramHandler> udp_bindings_;
+  std::vector<InFlight> in_flight_;
+  std::uint32_t free_slot_ = kNoSlot;
   Counters counters_;
 };
 

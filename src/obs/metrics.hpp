@@ -97,4 +97,79 @@ class MetricsRegistry {
   std::map<std::string, HistogramEntry> histograms_;
 };
 
+// --- pre-resolved handles (DESIGN.md §5h) ----------------------------------
+//
+// A handle binds (registry, name) once — typically at component
+// construction — and caches the instrument pointer at first use, so
+// per-request code bumps a pointer instead of building a std::string and
+// walking the name map on every event.  Two properties matter:
+//
+//   * Lazy resolution.  The instrument is created on the first
+//     add()/record(), not at bind time, exactly like the by-name calls the
+//     handle replaces.  A bound-but-never-touched handle therefore adds
+//     nothing to the export, keeping snapshots byte-identical with the
+//     pre-handle code.  resolve() exists for the opposite contract: metrics
+//     that must appear in the export even at zero.
+//
+//   * Null tolerance.  A default-constructed handle (component built
+//     without an observer) makes every operation a cheap no-op, mirroring
+//     the `observer_ != nullptr` guards it replaces.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  CounterHandle(MetricsRegistry& registry, std::string name)
+      : registry_(&registry), name_(std::move(name)) {}
+
+  void add(std::uint64_t n = 1) {
+    if (counter_ != nullptr) {
+      counter_->add(n);
+    } else if (registry_ != nullptr) {
+      counter_ = &registry_->counter(name_);
+      counter_->add(n);
+    }
+  }
+
+  // Forces instrument creation now; returns it (null when unbound).
+  Counter* resolve() {
+    if (counter_ == nullptr && registry_ != nullptr) counter_ = &registry_->counter(name_);
+    return counter_;
+  }
+
+  [[nodiscard]] bool bound() const noexcept { return registry_ != nullptr; }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+  Counter* counter_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  HistogramHandle(MetricsRegistry& registry, std::string name, std::string unit = "",
+                  Volatility volatility = Volatility::Stable)
+      : registry_(&registry),
+        name_(std::move(name)),
+        unit_(std::move(unit)),
+        volatility_(volatility) {}
+
+  void record(double v) {
+    if (histogram_ != nullptr) {
+      histogram_->record(v);
+    } else if (registry_ != nullptr) {
+      histogram_ = &registry_->histogram(name_, unit_, volatility_);
+      histogram_->record(v);
+    }
+  }
+
+  [[nodiscard]] bool bound() const noexcept { return registry_ != nullptr; }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+  std::string unit_;
+  Volatility volatility_ = Volatility::Stable;
+  stats::Histogram* histogram_ = nullptr;
+};
+
 }  // namespace ape::obs

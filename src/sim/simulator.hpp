@@ -1,14 +1,33 @@
 // Deterministic discrete-event simulator.
 //
-// Single-threaded event loop over a binary heap keyed by (time, seq): two
-// events at the same virtual instant fire in scheduling order, which keeps
-// runs bit-reproducible regardless of container iteration order.
+// The ordering contract is unchanged from day one: events are keyed by
+// (time, seq), so two events at the same virtual instant fire in
+// scheduling order and runs stay bit-reproducible regardless of container
+// iteration order.  What changed for the scale arc (DESIGN.md §5h) is the
+// machinery behind that contract:
 //
-// Cancellation is lazy: cancel() erases the callback and leaves a
-// tombstoned heap slot behind.  Tombstones are counted explicitly, so
+//   * Scheduling structure.  The default QueueKind::Calendar engine is a
+//     bucketed calendar queue: a cursor walks 1 ms buckets across a
+//     4096-slot wheel (~4.1 s horizon) that covers the short-horizon
+//     common case (WiFi/LAN RTTs, service times, timeouts), with a small
+//     "near" heap ordering the current bucket and a "far" heap holding
+//     events beyond the horizon (DHCP-lease-style timers).  Pushes into
+//     the wheel are O(1) vector appends instead of O(log n) heap sifts.
+//     QueueKind::BinaryHeap keeps the original single-heap engine alive —
+//     it is the reference implementation the scheduler-equivalence
+//     property test replays against (tests/test_sim_equivalence.cpp).
+//
+//   * Event storage.  Callbacks live in a slot arena indexed by EventId =
+//     (generation << 32) | slot, not in an unordered_map: scheduling
+//     recycles a freelist slot, cancel/fire bump the slot generation so
+//     stale ids fail the liveness check in O(1), and SmallFn keeps the
+//     captured state inline (no per-event heap allocation).
+//
+// Cancellation is lazy: cancel() releases the slot and leaves a
+// tombstoned queue entry behind.  Tombstones are counted explicitly, so
 // pending() always reports live (non-cancelled) events, and when dead
-// slots outnumber live ones the heap is compacted in O(n) — a workload
-// that schedules-and-cancels forever (timeout patterns) runs in bounded
+// slots reach half the queue it is compacted in O(n) — a workload that
+// schedules-and-cancels forever (timeout patterns) runs in bounded
 // memory.
 //
 // Usage:
@@ -16,27 +35,36 @@
 //   sim.schedule_in(milliseconds(5), []{ ... });
 //   sim.run();                       // drain all events
 //   sim.run_until(Time{seconds(3600)});
+// ape-lint: hot-path
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "sim/time.hpp"
 
 namespace ape::sim {
 
+// Which scheduling structure backs the event queue.  Both honour the
+// identical (time, seq) ordering contract; Calendar is the fast default,
+// BinaryHeap the reference the property test diffs against.
+enum class QueueKind {
+  Calendar,
+  BinaryHeap,
+};
+
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
   using EventId = std::uint64_t;
 
-  Simulator() = default;
+  explicit Simulator(QueueKind kind = QueueKind::Calendar);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] QueueKind queue_kind() const noexcept { return kind_; }
 
   // Schedules `fn` at absolute time `at`; times in the past are clamped to
   // "now" (the event still fires, after currently queued same-time events).
@@ -55,28 +83,38 @@ class Simulator {
   std::size_t step(std::size_t n = 1);
 
   // Live (non-cancelled) scheduled events.
-  [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
   [[nodiscard]] std::size_t events_fired() const noexcept { return fired_; }
 
   // --- queue introspection (feeds the obs queue-depth gauges) -------------
-  // Raw heap slots, live + tombstoned.
-  [[nodiscard]] std::size_t queue_size() const noexcept { return heap_.size(); }
-  // Cancelled-but-unpopped slots currently in the heap.
+  // Raw queue entries, live + tombstoned.
+  [[nodiscard]] std::size_t queue_size() const noexcept { return queue_size_; }
+  // Cancelled-but-unpopped entries currently queued.
   [[nodiscard]] std::size_t tombstones() const noexcept { return tombstones_; }
-  // Tombstoned fraction of the heap; 0 when the heap is empty.
+  // Tombstoned fraction of the queue; 0 when the queue is empty.
   [[nodiscard]] double tombstone_ratio() const noexcept {
-    return heap_.empty() ? 0.0
-                         : static_cast<double>(tombstones_) /
-                               static_cast<double>(heap_.size());
+    return queue_size_ == 0 ? 0.0
+                            : static_cast<double>(tombstones_) /
+                                  static_cast<double>(queue_size_);
   }
   // Total cancel() calls that actually cancelled something.
   [[nodiscard]] std::size_t events_cancelled() const noexcept { return cancelled_; }
   // Highest live pending() ever observed.
   [[nodiscard]] std::size_t queue_high_water() const noexcept { return high_water_; }
-  // Times the heap was rebuilt to shed tombstones.
+  // Times the queue was rebuilt to shed tombstones.
   [[nodiscard]] std::size_t compactions() const noexcept { return compactions_; }
 
  private:
+  // Calendar geometry: ~1 ms buckets, 4096-slot wheel → ~4.19 s horizon.
+  // Tuned on bench_engine at both 100k and 1M clients: finer buckets blow
+  // up cursor-advance overhead, coarser ones grow the near heap's log
+  // factor; this middle point wins at both scales.
+  static constexpr std::uint64_t kBucketShift = 10;
+  static constexpr std::uint64_t kWheelBits = 12;
+  static constexpr std::uint64_t kWheelSlots = std::uint64_t{1} << kWheelBits;
+  static constexpr std::uint64_t kWheelMask = kWheelSlots - 1;
+  static constexpr std::uint32_t kNoFreeSlot = ~std::uint32_t{0};
+
   struct Event {
     Time at;
     std::uint64_t seq;
@@ -89,19 +127,77 @@ class Simulator {
     }
   };
 
-  // Pops heap entries until one with a live callback fires; returns false
-  // when only tombstones (or nothing) remained.
-  bool fire_next();
-  void push_event(Event ev);
-  Event pop_event();
-  // Drops every tombstoned slot and re-heapifies.
+  // One arena slot: the callback plus the generation that validates ids.
+  // Slots are recycled through a freelist; the generation bumps on every
+  // release, so a queue entry whose generation no longer matches is a
+  // tombstone.
+  struct Slot {
+    // Generation first: the liveness check and a small callback's inline
+    // state land on the same cache line.
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoFreeSlot;
+    SmallFn fn;
+  };
+
+  static constexpr std::uint64_t bucket_of(Time t) noexcept {
+    return static_cast<std::uint64_t>(t.since_epoch.count()) >> kBucketShift;
+  }
+  static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+  static constexpr std::uint32_t generation_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  [[nodiscard]] bool is_live(EventId id) const noexcept {
+    return slots_[slot_of(id)].generation == generation_of(id);
+  }
+
+  EventId arena_acquire(Callback fn);
+  void arena_release(std::uint32_t slot) noexcept;
+
+  // --- queue primitives; every path maintains queue_size_ -----------------
+  void queue_push(Event ev);
+  // Global-minimum entry; precondition queue_size_ > 0.  May advance the
+  // calendar cursor (not an observable state change).
+  const Event& queue_peek();
+  Event queue_pop();
+  // Drops every tombstoned entry and rebuilds; resets tombstones_.
   void compact();
 
+  // Calendar internals.
+  void advance_cursor();
+  [[nodiscard]] std::uint64_t next_occupied_bucket() const noexcept;
+  void wheel_insert(const Event& ev);
+  void near_push(const Event& ev);
+
+  // Pops queue entries until one with a live slot fires; returns false
+  // when only tombstones (or nothing) remained.
+  bool fire_next();
+
+  QueueKind kind_;
   Time now_{};
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+
+  // Event arena.
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::size_t live_ = 0;
+
+  // QueueKind::BinaryHeap: the original single (time, seq) heap.
   std::vector<Event> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+
+  // QueueKind::Calendar: near heap (buckets <= cursor), wheel (next
+  // kWheelSlots buckets, unsorted), far heap (beyond the horizon), plus an
+  // occupancy bitmap so cursor advances skip empty buckets in O(words).
+  std::vector<Event> near_;
+  std::vector<std::vector<Event>> wheel_;
+  std::vector<std::uint64_t> wheel_occupancy_;
+  std::vector<Event> far_;
+  std::uint64_t cursor_bucket_ = 0;
+  std::size_t wheel_count_ = 0;
+
+  std::size_t queue_size_ = 0;
   std::size_t fired_ = 0;
   std::size_t cancelled_ = 0;
   std::size_t tombstones_ = 0;

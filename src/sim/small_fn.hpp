@@ -1,0 +1,135 @@
+// SmallFn — a move-only callable with generous inline storage, built for
+// the simulator's event arena (DESIGN.md §5h).
+//
+// std::function is the wrong shape for a hot event loop: its small-buffer
+// optimisation tops out around 2-3 pointers on mainstream ABIs, so nearly
+// every scheduled lambda that captures a message or a continuation pays a
+// heap allocation, and copyability forces captured state to be copyable
+// too.  SmallFn flips both choices: 48 bytes of inline storage and
+// move-only semantics, so `fn` slots can live directly inside the
+// simulator's event arena and be recycled without touching the allocator.
+//
+// The capacity is a deliberate trade.  Bigger inline buffers bloat every
+// arena slot, and at fleet scale (a million in-flight timeouts) the
+// arena's cache footprint — not instruction count — is what bounds
+// events/sec: moving from 128-byte to 64-byte slots roughly 2.5×'d the
+// million-client engine bench.  48 bytes covers the tree's hot-path
+// captures (a this-pointer, a couple of ids, one std::function
+// continuation); the rare oversized callable — e.g. the TCP request leg
+// hauling a TcpMessage — takes a heap fallback, which is exactly the
+// allocation it paid under std::function anyway.
+// ape-lint: hot-path
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ape::sim {
+
+class SmallFn {
+ public:
+  // Inline capacity: vtable pointer + buffer = 56 bytes, so an arena slot
+  // (generation/freelist bookkeeping + SmallFn) packs into one cache line.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor) — mirrors std::function
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>()) {
+      ::new (static_cast<void*>(buf_)) Decayed(std::forward<F>(fn));
+      vtable_ = &inline_vtable<Decayed>;
+    } else {
+      // Oversized capture: fall back to the allocator.  Rare by design —
+      // see kInlineBytes above.  // ape-lint: allow(hot-alloc)
+      ::new (static_cast<void*>(buf_)) Decayed*(new Decayed(std::forward<F>(fn)));
+      vtable_ = &heap_vtable<Decayed>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(std::move(other)); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { vtable_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Relocation: move-construct into `dst` AND tear down `src` — for the
+    // heap case ownership just transfers, for the inline case the source
+    // object is destroyed after the move.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename T>
+  static constexpr bool fits_inline() {
+    return sizeof(T) <= kInlineBytes && alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  template <typename T>
+  static constexpr VTable inline_vtable = {
+      [](void* p) { (*std::launder(static_cast<T*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        T* s = std::launder(static_cast<T*>(src));
+        ::new (dst) T(std::move(*s));
+        s->~T();
+      },
+      [](void* p) noexcept { std::launder(static_cast<T*>(p))->~T(); },
+  };
+
+  template <typename T>
+  static constexpr VTable heap_vtable = {
+      [](void* p) { (**std::launder(static_cast<T**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) T*(*std::launder(static_cast<T**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(static_cast<T**>(p)); },
+  };
+
+  void move_from(SmallFn&& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace ape::sim

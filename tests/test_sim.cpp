@@ -197,6 +197,28 @@ TEST(Simulator, CompactionPreservesFiringOrder) {
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
 }
 
+TEST(Simulator, CompactionFiresAtExactlyHalfDead) {
+  // Regression: the threshold was `tombstones * 2 > queue_size`, which let
+  // a queue sit at *exactly* 50% dead without compacting.  If the live
+  // half then fires, the queue is 100% tombstones with no cancel() call
+  // left to re-trigger the check — the dead entries linger until drained
+  // one by one.  The fixed `>=` compacts at the boundary.
+  Simulator sim;
+  std::vector<Simulator::EventId> doomed;
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule_in(milliseconds(1 + i), [] {});                      // live half
+    doomed.push_back(sim.schedule_in(milliseconds(500 + i), [] { FAIL(); }));
+  }
+  // Cancel exactly 64 of 128: tombstones * 2 == queue_size, and the count
+  // meets the compaction floor.
+  for (const auto id : doomed) ASSERT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.compactions(), 1u);
+  EXPECT_EQ(sim.tombstones(), 0u);
+  EXPECT_EQ(sim.queue_size(), 64u);  // only the live events remain queued
+  EXPECT_EQ(sim.run(), 64u);
+  EXPECT_EQ(sim.queue_size(), 0u);
+}
+
 TEST(Simulator, QueueHighWaterTracksPeakPending) {
   Simulator sim;
   std::vector<Simulator::EventId> ids;

@@ -40,6 +40,15 @@ Checks
                     two windows and delta-sum reconciliation breaks (the
                     idempotency-cursor trap record_span_histograms guards
                     against).
+  hot-alloc         in a file annotated `// ape-lint: hot-path` (the event
+                    engine and its satellites, DESIGN.md §5h): a heap
+                    allocation (`new`, make_unique/make_shared — placement
+                    new is fine) or a by-name metric lookup
+                    (.counter("...")/.gauge("...")/.histogram("...")/
+                    .count("...")), both of which defeat the arena/handle
+                    design those files exist for.  Hot paths resolve
+                    instruments once through obs::CounterHandle/
+                    HistogramHandle and recycle event state through arenas.
 
 Allowlisting
 ------------
@@ -71,7 +80,7 @@ import sys
 from typing import Dict, List, Set, Tuple
 
 CHECKS = ("wallclock", "unordered-iter", "discarded-result", "raw-seconds", "span-leak",
-          "cursor-bypass")
+          "cursor-bypass", "hot-alloc")
 
 SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
 
@@ -551,6 +560,70 @@ def check_cursor_bypass(sf: SourceFile) -> List[Finding]:
     return findings
 
 
+# Opt-in marker: only files that declare themselves hot-path are scanned.
+HOT_PATH_MARKER_RE = re.compile(r"ape-lint:\s*hot-path\b")
+
+# A heap allocation.  Placement new (`new (buf) T(...)` / `::new (p) ...`)
+# constructs into existing storage and is exactly the idiom arenas use, so
+# `new` immediately followed by `(` is exempt.
+HOT_ALLOC_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
+HOT_ALLOC_MAKE_RE = re.compile(r"\bmake_(?:unique|shared)\s*<")
+
+# A by-name instrument lookup: the string literal is the tell — a handle or
+# a pre-resolved reference has no business passing a name on a hot path.
+# (Literal bodies are blanked by strip_comments_and_strings but the quote
+# characters survive, so `counter("` still matches.)
+HOT_METRIC_BY_NAME_RE = re.compile(r"(?:\.|->)(counter|gauge|histogram|count)\s*\(\s*\"")
+
+
+def check_hot_alloc(sf: SourceFile) -> List[Finding]:
+    findings = []
+    if not HOT_PATH_MARKER_RE.search(sf.text):
+        return findings
+    for m in HOT_ALLOC_NEW_RE.finditer(sf.code):
+        line = sf.line_of_offset(m.start())
+        # `#include <new>` and friends are not allocations.
+        if sf.code_lines[line - 1].lstrip().startswith("#"):
+            continue
+        findings.append(
+            Finding(
+                sf.path,
+                line,
+                "hot-alloc",
+                "heap allocation in a hot-path file — recycle through an arena "
+                "(sim::Simulator slots, net::Network in-flight datagrams) or "
+                "keep state inline in sim::SmallFn; annotate a deliberate "
+                "cold-path allocation with `// ape-lint: allow(hot-alloc)`",
+            )
+        )
+    for m in HOT_ALLOC_MAKE_RE.finditer(sf.code):
+        line = sf.line_of_offset(m.start())
+        findings.append(
+            Finding(
+                sf.path,
+                line,
+                "hot-alloc",
+                "make_unique/make_shared in a hot-path file — recycle through "
+                "an arena or keep state inline; annotate a deliberate cold-path "
+                "allocation with `// ape-lint: allow(hot-alloc)`",
+            )
+        )
+    for m in HOT_METRIC_BY_NAME_RE.finditer(sf.code):
+        line = sf.line_of_offset(m.start())
+        findings.append(
+            Finding(
+                sf.path,
+                line,
+                "hot-alloc",
+                f"by-name metric lookup `.{m.group(1)}(\"...\")` in a hot-path "
+                "file — resolve once into an obs::CounterHandle/HistogramHandle "
+                "at construction; annotate a deliberate snapshot-time lookup "
+                "with `// ape-lint: allow(hot-alloc)`",
+            )
+        )
+    return findings
+
+
 def check_raw_seconds(sf: SourceFile) -> List[Finding]:
     findings = []
     for m in RAW_SECONDS_RE.finditer(sf.code):
@@ -598,6 +671,7 @@ def run_checks(
         raw += check_raw_seconds(sf)
         raw += check_span_leak(sf)
         raw += check_cursor_bypass(sf)
+        raw += check_hot_alloc(sf)
         seen = set()
         for f in raw:
             if sf.allowed(f.line, f.check):
