@@ -5,6 +5,7 @@
 #pragma once
 
 #include "baselines/system_interface.hpp"
+#include "common/shard.hpp"
 #include "core/ap_runtime.hpp"
 
 namespace ape::baselines {
@@ -12,6 +13,8 @@ namespace ape::baselines {
 // Fetcher facade over the regular APE client runtime (used for both
 // APE-CACHE and APE-CACHE-LRU; the difference lives on the AP).
 class ApeFetcher final : public ObjectFetcher {
+  APE_SHARD_CONTEXT(client);
+
  public:
   ApeFetcher(core::ClientRuntime& runtime, std::string label = "APE-CACHE")
       : runtime_(runtime), label_(std::move(label)) {}
@@ -24,8 +27,8 @@ class ApeFetcher final : public ObjectFetcher {
   [[nodiscard]] std::string system_name() const override { return label_; }
 
  private:
-  core::ClientRuntime& runtime_;
-  std::string label_;
+  APE_SHARD_LOCAL(client) core::ClientRuntime& runtime_;
+  APE_SHARD_LOCAL(client) std::string label_;
 };
 
 [[nodiscard]] inline core::ApRuntime::Options make_ape_lru_options(

@@ -4,10 +4,13 @@
 #pragma once
 
 #include "baselines/system_interface.hpp"
+#include "common/shard.hpp"
 
 namespace ape::baselines {
 
 class EdgeCacheFetcher final : public ObjectFetcher {
+  APE_SHARD_CONTEXT(client);
+
  public:
   explicit EdgeCacheFetcher(core::ClientRuntime& runtime) : runtime_(runtime) {}
 
@@ -19,7 +22,7 @@ class EdgeCacheFetcher final : public ObjectFetcher {
   [[nodiscard]] std::string system_name() const override { return "Edge Cache"; }
 
  private:
-  core::ClientRuntime& runtime_;
+  APE_SHARD_LOCAL(client) core::ClientRuntime& runtime_;
 };
 
 }  // namespace ape::baselines

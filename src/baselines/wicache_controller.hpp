@@ -22,6 +22,7 @@
 
 #include "cache/cache_stats.hpp"
 #include "cache/object_store.hpp"
+#include "common/shard.hpp"
 #include "http/endpoint.hpp"
 #include "net/network.hpp"
 
@@ -32,6 +33,8 @@ inline constexpr net::Port kWiCacheAgentControlPort = 5301;
 inline constexpr net::Port kWiCacheAgentHttpPort = 8080;
 
 class WiCacheController {
+  APE_SHARD_CONTEXT(controller);
+
  public:
   WiCacheController(net::Network& network, net::NodeId node, sim::ServiceQueue& cpu,
                     net::Endpoint agent_control, net::IpAddress ap_http_ip,
@@ -46,19 +49,23 @@ class WiCacheController {
   void on_datagram(const net::Datagram& dgram);
   void handle_lookup(std::uint64_t seq, const std::string& url, net::Endpoint client);
 
-  net::Network& network_;
-  net::NodeId node_;
-  sim::ServiceQueue& cpu_;
-  net::Endpoint agent_control_;
-  net::IpAddress ap_http_ip_;
-  net::IpAddress edge_ip_;
-  std::unordered_set<std::string> ap_keys_;          // keys cached at the AP
-  std::unordered_set<std::string> prefetch_inflight_; // avoid duplicate instructions
-  cache::CacheStatistics stats_;
-  std::size_t lookups_ = 0;
+  APE_SHARD_SHARED net::Network& network_;
+  APE_SHARD_LOCAL(controller) net::NodeId node_;
+  APE_SHARD_LOCAL(controller) sim::ServiceQueue& cpu_;
+  APE_SHARD_LOCAL(controller) net::Endpoint agent_control_;
+  APE_SHARD_LOCAL(controller) net::IpAddress ap_http_ip_;
+  APE_SHARD_LOCAL(controller) net::IpAddress edge_ip_;
+  // keys cached at the AP
+  APE_SHARD_LOCAL(controller) std::unordered_set<std::string> ap_keys_;
+  // avoid duplicate instructions
+  APE_SHARD_LOCAL(controller) std::unordered_set<std::string> prefetch_inflight_;
+  APE_SHARD_LOCAL(controller) cache::CacheStatistics stats_;
+  APE_SHARD_LOCAL(controller) std::size_t lookups_ = 0;
 };
 
 class WiCacheApAgent {
+  APE_SHARD_CONTEXT(ap);
+
  public:
   WiCacheApAgent(net::Network& network, net::TcpTransport& tcp, net::NodeId node,
                  sim::ServiceQueue& cpu, std::size_t capacity_bytes,
@@ -74,14 +81,14 @@ class WiCacheApAgent {
   void serve(const http::HttpRequest& request, http::HttpServer::Responder respond);
   void report(const std::string& action, const std::string& key);
 
-  net::Network& network_;
-  net::NodeId node_;
-  sim::ServiceQueue& cpu_;
-  cache::CacheStore store_;
-  http::HttpServer http_;
-  http::HttpClient edge_client_;
-  net::Endpoint controller_;
-  std::size_t prefetches_ = 0;
+  APE_SHARD_SHARED net::Network& network_;
+  APE_SHARD_LOCAL(ap) net::NodeId node_;
+  APE_SHARD_LOCAL(ap) sim::ServiceQueue& cpu_;
+  APE_SHARD_LOCAL(ap) cache::CacheStore store_;
+  APE_SHARD_LOCAL(ap) http::HttpServer http_;
+  APE_SHARD_LOCAL(ap) http::HttpClient edge_client_;
+  APE_SHARD_LOCAL(ap) net::Endpoint controller_;
+  APE_SHARD_LOCAL(ap) std::size_t prefetches_ = 0;
 };
 
 }  // namespace ape::baselines

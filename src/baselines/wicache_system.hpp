@@ -5,10 +5,13 @@
 
 #include "baselines/system_interface.hpp"
 #include "baselines/wicache_controller.hpp"
+#include "common/shard.hpp"
 
 namespace ape::baselines {
 
 class WiCacheFetcher final : public ObjectFetcher {
+  APE_SHARD_CONTEXT(client);
+
  public:
   WiCacheFetcher(net::Network& network, net::TcpTransport& tcp, net::NodeId node,
                  net::Port udp_port, net::Endpoint controller, net::IpAddress ap_ip);
@@ -32,15 +35,15 @@ class WiCacheFetcher final : public ObjectFetcher {
                   net::IpAddress edge_fallback, sim::Time start, sim::Duration lookup,
                   core::ClientRuntime::FetchHandler handler);
 
-  net::Network& network_;
-  net::NodeId node_;
-  net::Port udp_port_;
-  net::Endpoint controller_;
-  net::IpAddress ap_ip_;
-  http::HttpClient http_;
+  APE_SHARD_SHARED net::Network& network_;
+  APE_SHARD_LOCAL(client) net::NodeId node_;
+  APE_SHARD_LOCAL(client) net::Port udp_port_;
+  APE_SHARD_LOCAL(client) net::Endpoint controller_;
+  APE_SHARD_LOCAL(client) net::IpAddress ap_ip_;
+  APE_SHARD_LOCAL(client) http::HttpClient http_;
   // One lookup in flight at a time per sequence number.
-  std::unordered_map<std::uint64_t, PendingLookup> pending_;
-  std::uint64_t next_seq_ = 1;
+  APE_SHARD_LOCAL(client) std::unordered_map<std::uint64_t, PendingLookup> pending_;
+  APE_SHARD_LOCAL(client) std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace ape::baselines

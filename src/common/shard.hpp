@@ -1,0 +1,45 @@
+#pragma once
+
+// Shard-ownership annotations (DESIGN.md §5i).
+//
+// The roadmap's deterministic-parallel-simulation direction (ROADMAP.md
+// item 2) partitions runtime state into shards — one per AP plus a handful
+// of singletons (controller, edge, origin, the network fabric itself).  The
+// correctness contract is simple to state and impossible for a compiler to
+// check: state owned by shard X may only be mutated by work running on
+// shard X.  A callback scheduled from the AP shard that pokes a
+// client-owned map would be a data race the moment shards run on different
+// worker threads, even though it is perfectly fine under today's
+// single-threaded calendar queue.
+//
+// These macros make the ownership story explicit *now*, while the
+// simulator is still serial, so ape-lint's shard-ownership check can keep
+// the invariant from regressing before parallelism lands:
+//
+//   class ApRuntime {
+//     APE_SHARD_CONTEXT(ap);               // instances live on the AP shard
+//     ...
+//    private:
+//     APE_SHARD_LOCAL(ap) CacheStats stats_;     // touched only by this shard
+//     APE_SHARD_SHARED net::Network& network_;   // cross-shard by design
+//   };
+//
+// APE_SHARD_CONTEXT(owner) names the shard the enclosing class's instances
+// belong to.  Every trailing-underscore field must then carry either
+// APE_SHARD_LOCAL(owner) — owner must equal the class's context — or
+// APE_SHARD_SHARED for state that is legitimately reached from several
+// shards and will need a synchronization story (a queue, a phase barrier)
+// when parallelism arrives.  The closed owner set lives in
+// tools/lint/lint_config.json ("shard_owners").
+//
+// All three macros compile to nothing (APE_SHARD_CONTEXT to a vacuous
+// static_assert so it can carry the required trailing semicolon): the
+// annotations exist for ape-lint and for readers, never for codegen, which
+// is what keeps the committed bench baselines byte-identical.
+
+#define APE_SHARD_CONTEXT(owner) \
+  static_assert(true, "shard context: " #owner)
+
+#define APE_SHARD_LOCAL(owner)
+
+#define APE_SHARD_SHARED

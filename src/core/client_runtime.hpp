@@ -23,6 +23,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/shard.hpp"
 #include "core/config.hpp"
 #include "core/dns_cache_record.hpp"
 #include "core/frequency_tracker.hpp"
@@ -45,6 +46,8 @@ struct CacheableSpec {
 };
 
 class ClientRuntime {
+  APE_SHARD_CONTEXT(client);
+
  public:
   struct Options {
     net::Endpoint ap_dns;     // AP's DNS service
@@ -136,16 +139,17 @@ class ClientRuntime {
                                                       const std::vector<UrlHash>& hashes,
                                                       const obs::TraceContext& ctx = {}) const;
 
-  net::Network& network_;
-  net::TcpTransport& tcp_;
-  net::NodeId node_;
-  Options options_;
-  dns::DnsClient dns_;
-  http::HttpClient http_;
+  APE_SHARD_SHARED net::Network& network_;
+  APE_SHARD_SHARED net::TcpTransport& tcp_;
+  APE_SHARD_LOCAL(client) net::NodeId node_;
+  APE_SHARD_LOCAL(client) Options options_;
+  APE_SHARD_LOCAL(client) dns::DnsClient dns_;
+  APE_SHARD_LOCAL(client) http::HttpClient http_;
   // Ordered: prefetch() walks the registry, and the walk order decides the
   // sequence of simulated requests (ape-lint: unordered-iter).
-  std::map<std::string, CacheableSpec> registry_;         // by base URL
-  std::unordered_map<std::string, DomainState> domains_;  // by host (keyed lookups only)
+  APE_SHARD_LOCAL(client) std::map<std::string, CacheableSpec> registry_;  // by base URL
+  // by host (keyed lookups only)
+  APE_SHARD_LOCAL(client) std::unordered_map<std::string, DomainState> domains_;
 
   // Per-fetch instruments, bound once at construction (no-ops without an
   // observer) so finish() — which runs for every simulated request — does

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/shard.hpp"
 #include "sim/time.hpp"
 
 namespace ape::core {
@@ -18,6 +19,8 @@ namespace ape::core {
 using AppId = std::uint32_t;
 
 class FrequencyTracker {
+  APE_SHARD_CONTEXT(ap);
+
  public:
   FrequencyTracker(double alpha, sim::Duration window);
 
@@ -40,9 +43,9 @@ class FrequencyTracker {
 
   void roll(AppState& state, sim::Time now) const;
 
-  double alpha_;
-  sim::Duration window_;
-  mutable std::unordered_map<AppId, AppState> apps_;
+  APE_SHARD_LOCAL(ap) double alpha_;
+  APE_SHARD_LOCAL(ap) sim::Duration window_;
+  APE_SHARD_LOCAL(ap) mutable std::unordered_map<AppId, AppState> apps_;
 };
 
 }  // namespace ape::core

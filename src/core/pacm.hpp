@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/shard.hpp"
 #include "core/config.hpp"
 #include "core/frequency_tracker.hpp"
 #include "core/knapsack.hpp"
@@ -50,6 +51,8 @@ struct PacmDecision {
 };
 
 class PacmSolver {
+  APE_SHARD_CONTEXT(ap);
+
  public:
   explicit PacmSolver(const ApeConfig& config) : config_(config) {}
 
@@ -80,8 +83,8 @@ class PacmSolver {
   void record_solve(const PacmDecision& decision, std::size_t candidates,
                     const obs::WallClockTimer& timer) const;
 
-  const ApeConfig& config_;
-  obs::Observer* observer_ = nullptr;
+  APE_SHARD_LOCAL(ap) const ApeConfig& config_;
+  APE_SHARD_SHARED obs::Observer* observer_ = nullptr;
 };
 
 }  // namespace ape::core

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "cache/object_store.hpp"
+#include "common/shard.hpp"
 #include "core/frequency_tracker.hpp"
 #include "core/pacm.hpp"
 #include "sim/simulator.hpp"
@@ -13,6 +14,8 @@
 namespace ape::core {
 
 class PacmPolicy final : public cache::EvictionPolicy {
+  APE_SHARD_CONTEXT(ap);
+
  public:
   // `clock` supplies virtual "now" (remaining TTLs feed e_d); `frequencies`
   // is the AP's live per-app tracker; `observer` (nullable) receives solver
@@ -44,14 +47,14 @@ class PacmPolicy final : public cache::EvictionPolicy {
   [[nodiscard]] std::size_t invocations() const noexcept { return invocations_; }
 
  private:
-  ApeConfig config_;
-  const sim::Simulator& clock_;
-  const FrequencyTracker& frequencies_;
-  obs::Observer* observer_ = nullptr;
-  std::function<double(const cache::CacheEntry&)> demotion_latency_ms_;
-  PacmSolver solver_;
-  PacmDecision last_;
-  std::size_t invocations_ = 0;
+  APE_SHARD_LOCAL(ap) ApeConfig config_;
+  APE_SHARD_SHARED const sim::Simulator& clock_;
+  APE_SHARD_LOCAL(ap) const FrequencyTracker& frequencies_;
+  APE_SHARD_SHARED obs::Observer* observer_ = nullptr;
+  APE_SHARD_LOCAL(ap) std::function<double(const cache::CacheEntry&)> demotion_latency_ms_;
+  APE_SHARD_LOCAL(ap) PacmSolver solver_;
+  APE_SHARD_LOCAL(ap) PacmDecision last_;
+  APE_SHARD_LOCAL(ap) std::size_t invocations_ = 0;
 };
 
 }  // namespace ape::core

@@ -15,11 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "common/shard.hpp"
 #include "core/client_runtime.hpp"
 
 namespace ape::core {
 
 class AnnotatedApp {
+  APE_SHARD_CONTEXT(client);
+
  public:
   AnnotatedApp(std::string name, AppId id) : name_(std::move(name)), id_(id) {}
 
@@ -43,14 +46,16 @@ class AnnotatedApp {
   [[nodiscard]] const std::vector<Field>& fields() const noexcept { return fields_; }
 
  private:
-  std::string name_;
-  AppId id_;
-  std::vector<Field> fields_;
+  APE_SHARD_LOCAL(client) std::string name_;
+  APE_SHARD_LOCAL(client) AppId id_;
+  APE_SHARD_LOCAL(client) std::vector<Field> fields_;
 };
 
 // The API-based model: callers must thread priority/TTL through every
 // request site (and therefore rewrite their fetch logic).
 class ApiBasedClient {
+  APE_SHARD_CONTEXT(client);
+
  public:
   explicit ApiBasedClient(ClientRuntime& runtime, AppId app)
       : runtime_(runtime), app_(app) {}
@@ -63,9 +68,9 @@ class ApiBasedClient {
   [[nodiscard]] std::size_t call_sites_used() const noexcept { return calls_; }
 
  private:
-  ClientRuntime& runtime_;
-  AppId app_;
-  std::size_t calls_ = 0;
+  APE_SHARD_LOCAL(client) ClientRuntime& runtime_;
+  APE_SHARD_LOCAL(client) AppId app_;
+  APE_SHARD_LOCAL(client) std::size_t calls_ = 0;
 };
 
 // Table VII accounting for one app under each model.

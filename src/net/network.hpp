@@ -15,6 +15,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/shard.hpp"
 #include "net/datagram.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -22,6 +23,8 @@
 namespace ape::net {
 
 class Network {
+  APE_SHARD_CONTEXT(net);
+
  public:
   using DatagramHandler = std::function<void(const Datagram&)>;
 
@@ -74,14 +77,14 @@ class Network {
   // slot's datagram to it, then recycles the slot.
   void deliver(NodeId target, std::uint32_t slot);
 
-  sim::Simulator& sim_;
-  Topology& topology_;
-  std::unordered_map<IpAddress, NodeId> ip_to_node_;
-  std::unordered_map<NodeId, IpAddress> node_to_ip_;
-  std::unordered_map<std::uint64_t, DatagramHandler> udp_bindings_;
-  std::vector<InFlight> in_flight_;
-  std::uint32_t free_slot_ = kNoSlot;
-  Counters counters_;
+  APE_SHARD_SHARED sim::Simulator& sim_;
+  APE_SHARD_LOCAL(net) Topology& topology_;
+  APE_SHARD_LOCAL(net) std::unordered_map<IpAddress, NodeId> ip_to_node_;
+  APE_SHARD_LOCAL(net) std::unordered_map<NodeId, IpAddress> node_to_ip_;
+  APE_SHARD_LOCAL(net) std::unordered_map<std::uint64_t, DatagramHandler> udp_bindings_;
+  APE_SHARD_LOCAL(net) std::vector<InFlight> in_flight_;
+  APE_SHARD_LOCAL(net) std::uint32_t free_slot_ = kNoSlot;
+  APE_SHARD_LOCAL(net) Counters counters_;
 };
 
 }  // namespace ape::net

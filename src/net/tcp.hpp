@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/shard.hpp"
 #include "net/network.hpp"
 #include "obs/observer.hpp"
 
@@ -39,6 +40,8 @@ class TcpTransport;
 // Client end of an established connection.  Handles are shared_ptrs owned by
 // the transport; destroying the last handle closes the connection.
 class TcpConnection {
+  APE_SHARD_CONTEXT(net);
+
  public:
   using ResponseHandler = std::function<void(Result<TcpMessage>)>;
 
@@ -58,12 +61,12 @@ class TcpConnection {
                 Endpoint server_ep)
       : transport_(transport), id_(id), client_(client), server_(server), server_ep_(server_ep) {}
 
-  TcpTransport& transport_;
-  std::uint64_t id_;
-  NodeId client_;
-  NodeId server_;
-  Endpoint server_ep_;
-  bool open_ = true;
+  APE_SHARD_LOCAL(net) TcpTransport& transport_;
+  APE_SHARD_LOCAL(net) std::uint64_t id_;
+  APE_SHARD_LOCAL(net) NodeId client_;
+  APE_SHARD_LOCAL(net) NodeId server_;
+  APE_SHARD_LOCAL(net) Endpoint server_ep_;
+  APE_SHARD_LOCAL(net) bool open_ = true;
 };
 
 using TcpConnectionPtr = std::shared_ptr<TcpConnection>;
@@ -77,6 +80,8 @@ using TcpRequestHandler =
     std::function<void(const TcpMessage& request, Endpoint peer, TcpResponder respond)>;
 
 class TcpTransport {
+  APE_SHARD_CONTEXT(net);
+
  public:
   explicit TcpTransport(Network& network);
   TcpTransport(const TcpTransport&) = delete;
@@ -127,13 +132,13 @@ class TcpTransport {
     return (std::uint64_t{node.value} << 16) | port;
   }
 
-  Network& network_;
-  obs::Observer* observer_ = nullptr;
-  sim::Duration connect_timeout_ = sim::milliseconds(3000);
-  std::unordered_map<std::uint64_t, TcpRequestHandler> listeners_;
-  std::unordered_map<NodeId, std::size_t> server_conn_count_;
-  std::uint64_t next_conn_id_ = 1;
-  Counters counters_;
+  APE_SHARD_LOCAL(net) Network& network_;
+  APE_SHARD_SHARED obs::Observer* observer_ = nullptr;
+  APE_SHARD_LOCAL(net) sim::Duration connect_timeout_ = sim::milliseconds(3000);
+  APE_SHARD_LOCAL(net) std::unordered_map<std::uint64_t, TcpRequestHandler> listeners_;
+  APE_SHARD_LOCAL(net) std::unordered_map<NodeId, std::size_t> server_conn_count_;
+  APE_SHARD_LOCAL(net) std::uint64_t next_conn_id_ = 1;
+  APE_SHARD_LOCAL(net) Counters counters_;
 };
 
 }  // namespace ape::net

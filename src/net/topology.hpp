@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/shard.hpp"
 #include "net/address.hpp"
 #include "sim/time.hpp"
 
@@ -32,6 +33,8 @@ struct PathInfo {
 };
 
 class Topology {
+  APE_SHARD_CONTEXT(net);
+
  public:
   NodeId add_node(std::string name);
 
@@ -70,10 +73,11 @@ class Topology {
     return (std::uint64_t{a.value} << 32) | b.value;
   }
 
-  std::vector<std::string> nodes_;
-  std::vector<bool> transit_;
-  std::vector<std::vector<Edge>> adjacency_;
-  mutable std::unordered_map<std::uint64_t, std::optional<PathInfo>> path_cache_;
+  APE_SHARD_LOCAL(net) std::vector<std::string> nodes_;
+  APE_SHARD_LOCAL(net) std::vector<bool> transit_;
+  APE_SHARD_LOCAL(net) std::vector<std::vector<Edge>> adjacency_;
+  APE_SHARD_LOCAL(net) mutable std::unordered_map<std::uint64_t, std::optional<PathInfo>>
+      path_cache_;
 };
 
 }  // namespace ape::net

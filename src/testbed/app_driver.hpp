@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "baselines/system_interface.hpp"
+#include "common/shard.hpp"
 #include "workload/app_model.hpp"
 
 namespace ape::testbed {
@@ -30,6 +31,8 @@ struct AppRunResult {
 };
 
 class AppDriver {
+  APE_SHARD_CONTEXT(client);
+
  public:
   AppDriver(sim::Simulator& sim, const workload::AppSpec& app,
             baselines::ObjectFetcher& fetcher);
@@ -43,9 +46,9 @@ class AppDriver {
   [[nodiscard]] const workload::AppSpec& app() const noexcept { return app_; }
 
  private:
-  sim::Simulator& sim_;
-  const workload::AppSpec app_;  // copied: runs outlive callers' specs
-  baselines::ObjectFetcher& fetcher_;
+  APE_SHARD_SHARED sim::Simulator& sim_;
+  APE_SHARD_LOCAL(client) const workload::AppSpec app_;  // copied: runs outlive callers' specs
+  APE_SHARD_LOCAL(client) baselines::ObjectFetcher& fetcher_;
 };
 
 }  // namespace ape::testbed

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/shard.hpp"
 #include "net/network.hpp"
 #include "obs/observer.hpp"
 #include "obs/slo.hpp"
@@ -53,6 +54,8 @@ struct TelemetryReport {
 // AP-side scrape endpoint.  Owns no windows — it reads the run Observer's
 // Timeline, which the Testbed capture tick fills through the delta cursor.
 class TelemetryAgent {
+  APE_SHARD_CONTEXT(ap);
+
  public:
   TelemetryAgent(net::Network& network, net::NodeId node, sim::ServiceQueue& cpu,
                  const obs::Timeline& timeline, obs::Observer* observer);
@@ -65,17 +68,19 @@ class TelemetryAgent {
  private:
   void on_datagram(const net::Datagram& dgram);
 
-  net::Network& network_;
-  net::NodeId node_;
-  sim::ServiceQueue& cpu_;  // the AP's CPU — scrape work is AP overhead
-  const obs::Timeline& timeline_;
-  obs::Observer* observer_;
-  std::size_t scrapes_served_ = 0;
+  APE_SHARD_SHARED net::Network& network_;
+  APE_SHARD_LOCAL(ap) net::NodeId node_;
+  APE_SHARD_LOCAL(ap) sim::ServiceQueue& cpu_;  // the AP's CPU — scrape work is AP overhead
+  APE_SHARD_LOCAL(ap) const obs::Timeline& timeline_;
+  APE_SHARD_SHARED obs::Observer* observer_;
+  APE_SHARD_LOCAL(ap) std::size_t scrapes_served_ = 0;
 };
 
 // Controller-side puller: periodically scrapes the agent, replays the
 // window stream into its SloEvaluator, and accounts the telemetry path.
 class TelemetryCollector {
+  APE_SHARD_CONTEXT(controller);
+
  public:
   TelemetryCollector(net::Network& network, net::NodeId node, net::Endpoint agent,
                      sim::Duration interval, obs::Observer* observer);
@@ -103,21 +108,21 @@ class TelemetryCollector {
   void on_datagram(const net::Datagram& dgram);
   void handle_report(const std::string& text);
 
-  net::Network& network_;
-  net::NodeId node_;
-  net::Endpoint agent_;
-  sim::Duration interval_;
-  obs::Observer* observer_;
-  sim::ServiceQueue cpu_;  // the collector's own service queue
-  obs::SloEvaluator slo_;
-  std::vector<obs::TimelineWindow> windows_;
-  std::uint64_t next_from_ = 0;
-  sim::Time until_{};
-  sim::Simulator::EventId timer_ = 0;
-  bool in_flight_ = false;
-  sim::Time sent_at_{};
-  std::size_t scrapes_sent_ = 0;
-  std::size_t reports_received_ = 0;
+  APE_SHARD_SHARED net::Network& network_;
+  APE_SHARD_LOCAL(controller) net::NodeId node_;
+  APE_SHARD_LOCAL(controller) net::Endpoint agent_;
+  APE_SHARD_LOCAL(controller) sim::Duration interval_;
+  APE_SHARD_SHARED obs::Observer* observer_;
+  APE_SHARD_LOCAL(controller) sim::ServiceQueue cpu_;  // the collector's own service queue
+  APE_SHARD_LOCAL(controller) obs::SloEvaluator slo_;
+  APE_SHARD_LOCAL(controller) std::vector<obs::TimelineWindow> windows_;
+  APE_SHARD_LOCAL(controller) std::uint64_t next_from_ = 0;
+  APE_SHARD_LOCAL(controller) sim::Time until_{};
+  APE_SHARD_LOCAL(controller) sim::Simulator::EventId timer_ = 0;
+  APE_SHARD_LOCAL(controller) bool in_flight_ = false;
+  APE_SHARD_LOCAL(controller) sim::Time sent_at_{};
+  APE_SHARD_LOCAL(controller) std::size_t scrapes_sent_ = 0;
+  APE_SHARD_LOCAL(controller) std::size_t reports_received_ = 0;
 };
 
 }  // namespace ape::testbed

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baselines/ape_lru_system.hpp"
+#include "common/shard.hpp"
 #include "baselines/edge_cache_system.hpp"
 #include "baselines/wicache_system.hpp"
 #include "core/ap_runtime.hpp"
@@ -85,6 +86,8 @@ struct TestbedParams {
 };
 
 class Testbed {
+  APE_SHARD_CONTEXT(controller);
+
  public:
   explicit Testbed(TestbedParams params);
   ~Testbed();
@@ -181,39 +184,45 @@ class Testbed {
   void build_telemetry();
   void schedule_timeline_tick();
 
-  TestbedParams params_;
-  obs::Observer obs_;
-  sim::Simulator sim_;
-  net::Topology topology_;
-  std::unique_ptr<net::Network> network_;
-  std::unique_ptr<net::TcpTransport> tcp_;
+  APE_SHARD_LOCAL(controller) TestbedParams params_;
+  // Every node pushes metrics/spans into the run observer, and all shards
+  // share the one calendar queue: both are cross-shard by construction.
+  APE_SHARD_SHARED obs::Observer obs_;
+  APE_SHARD_SHARED sim::Simulator sim_;
+  APE_SHARD_LOCAL(controller) net::Topology topology_;
+  APE_SHARD_SHARED std::unique_ptr<net::Network> network_;
+  APE_SHARD_SHARED std::unique_ptr<net::TcpTransport> tcp_;
 
-  // nodes
-  net::NodeId ap_node_{}, edge_node_{}, ldns_node_{}, adns_node_{}, cdn_dns_node_{},
-      controller_node_{};
-  net::IpAddress ap_ip_{}, edge_ip_{}, ldns_ip_{}, adns_ip_{}, cdn_dns_ip_{}, controller_ip_{};
+  // nodes (owning handles: built, restarted and torn down by the harness;
+  // the pointees belong to their own shards)
+  APE_SHARD_LOCAL(controller) net::NodeId ap_node_{}, edge_node_{}, ldns_node_{},
+      adns_node_{}, cdn_dns_node_{}, controller_node_{};
+  APE_SHARD_LOCAL(controller) net::IpAddress ap_ip_{}, edge_ip_{}, ldns_ip_{}, adns_ip_{},
+      cdn_dns_ip_{}, controller_ip_{};
 
   // per-node CPUs (other than the AP's, which lives in ApRuntime)
-  std::unique_ptr<sim::ServiceQueue> edge_cpu_, ldns_cpu_, adns_cpu_, cdn_cpu_, controller_cpu_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<sim::ServiceQueue> edge_cpu_, ldns_cpu_,
+      adns_cpu_, cdn_cpu_, controller_cpu_;
 
-  std::unique_ptr<store::FlashMedia> flash_media_;
-  std::unique_ptr<core::ApRuntime> ap_;
-  std::unique_ptr<http::EdgeCacheServer> edge_;
-  std::unique_ptr<dns::LocalDnsServer> ldns_;
-  std::unique_ptr<dns::AuthoritativeDnsServer> adns_;
-  std::unique_ptr<dns::CdnDnsServer> cdn_dns_;
-  std::unique_ptr<baselines::WiCacheController> wicache_controller_;
-  std::unique_ptr<baselines::WiCacheApAgent> wicache_agent_;
-  std::unique_ptr<sim::ResourceMeter> meter_;
-  std::unique_ptr<TelemetryAgent> telemetry_agent_;
-  std::unique_ptr<TelemetryCollector> telemetry_collector_;
-  sim::Time timeline_until_{};
-  sim::Simulator::EventId timeline_tick_ = 0;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<store::FlashMedia> flash_media_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<core::ApRuntime> ap_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<http::EdgeCacheServer> edge_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<dns::LocalDnsServer> ldns_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<dns::AuthoritativeDnsServer> adns_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<dns::CdnDnsServer> cdn_dns_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<baselines::WiCacheController> wicache_controller_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<baselines::WiCacheApAgent> wicache_agent_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<sim::ResourceMeter> meter_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<TelemetryAgent> telemetry_agent_;
+  APE_SHARD_LOCAL(controller) std::unique_ptr<TelemetryCollector> telemetry_collector_;
+  APE_SHARD_LOCAL(controller) sim::Time timeline_until_{};
+  APE_SHARD_LOCAL(controller) sim::Simulator::EventId timeline_tick_ = 0;
 
-  std::vector<std::unique_ptr<Client>> clients_;
-  net::Port next_client_port_ = 49152;
-  std::uint32_t next_client_ip_suffix_ = 100;
-  std::size_t spans_histogrammed_ = 0;  // collect_metrics() idempotency cursor
+  APE_SHARD_LOCAL(controller) std::vector<std::unique_ptr<Client>> clients_;
+  APE_SHARD_LOCAL(controller) net::Port next_client_port_ = 49152;
+  APE_SHARD_LOCAL(controller) std::uint32_t next_client_ip_suffix_ = 100;
+  // collect_metrics() idempotency cursor
+  APE_SHARD_LOCAL(controller) std::size_t spans_histogrammed_ = 0;
 };
 
 }  // namespace ape::testbed

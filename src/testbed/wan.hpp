@@ -17,12 +17,15 @@
 #include "dns/cdn_dns.hpp"
 #include "dns/ldns.hpp"
 #include "dns/stub_resolver.hpp"
+#include "common/shard.hpp"
 #include "stats/histogram.hpp"
 #include "testbed/testbed.hpp"
 
 namespace ape::testbed {
 
 class WanFixture {
+  APE_SHARD_CONTEXT(wan);
+
  public:
   WanFixture();
   WanFixture(const WanFixture&) = delete;
@@ -83,15 +86,18 @@ class WanFixture {
   void ping(Location& location, net::IpAddress target, std::size_t count,
             stats::Histogram& rtt_ms);
 
-  sim::Simulator sim_;
-  net::Topology topology_;
-  std::unique_ptr<net::Network> network_;
+  APE_SHARD_LOCAL(wan) sim::Simulator sim_;
+  APE_SHARD_LOCAL(wan) net::Topology topology_;
+  APE_SHARD_LOCAL(wan) std::unique_ptr<net::Network> network_;
 
-  std::vector<std::string> location_names_{"Michigan, US", "Tokyo, Japan", "Sao Paulo, Brazil"};
-  std::vector<std::string> service_names_{"Apple", "Microsoft", "Yahoo"};
-  std::vector<Location> locations_;
-  std::vector<Service> services_;
-  std::uint32_t next_ip_ = 1;
+  APE_SHARD_LOCAL(wan) std::vector<std::string> location_names_{"Michigan, US",
+                                                                "Tokyo, Japan",
+                                                                "Sao Paulo, Brazil"};
+  APE_SHARD_LOCAL(wan) std::vector<std::string> service_names_{"Apple", "Microsoft",
+                                                               "Yahoo"};
+  APE_SHARD_LOCAL(wan) std::vector<Location> locations_;
+  APE_SHARD_LOCAL(wan) std::vector<Service> services_;
+  APE_SHARD_LOCAL(wan) std::uint32_t next_ip_ = 1;
 
   net::IpAddress fresh_ip();
 };

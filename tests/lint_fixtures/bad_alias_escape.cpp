@@ -1,0 +1,51 @@
+// Fixture: unordered iteration laundered through a local alias.  These were
+// FALSE NEGATIVES under the v1 regex engine, which only recognized a
+// range-for whose right-hand side *textually* contained `unordered` or a
+// known container name — binding the container to `const auto&` first hid
+// it completely.  The v2 symbol table resolves the alias one level back to
+// its declaration (this is the exact shape of the domain->hash walk that
+// feeds the DNS Additional section in src/core/ap_runtime.cpp).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using UrlHash = std::uint64_t;
+
+class DomainIndex {
+ public:
+  std::vector<UrlHash> flags_for(const std::string& domain) {
+    std::vector<UrlHash> out;
+
+    // v1 blind spot #1: reference alias to an unordered mapped value.
+    const auto& hashes = domain_hashes_[domain];
+    for (UrlHash h : hashes) {  // expect-lint: unordered-iter
+      out.push_back(h);
+    }
+
+    // v1 blind spot #2: alias of a whole unordered member, walked by
+    // iterator instead of range-for.
+    auto& live = live_hashes_;
+    for (auto it = live.begin(); it != live.end(); ++it) {  // expect-lint: unordered-iter
+      out.push_back(*it);
+    }
+
+    // Aliasing an *ordered* container stays clean: the check fires on what
+    // the alias resolves to, not on the aliasing itself.
+    const auto& order = insertion_order_;
+    for (UrlHash h : order) {
+      out.push_back(h);
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, std::unordered_set<UrlHash>> domain_hashes_;
+  std::unordered_set<UrlHash> live_hashes_;
+  std::vector<UrlHash> insertion_order_;
+};
+
+}  // namespace fixture

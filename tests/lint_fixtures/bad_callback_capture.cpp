@@ -1,0 +1,74 @@
+// Fixture: arena-slot lifetime in deferred callbacks (DESIGN.md §5h/§5i).
+// Datagram/Event/Slot/InFlight objects live in freelist-recycled arenas, so
+// a lambda handed to a deferred-execution sink (schedule_at, submit,
+// bind_udp, ...) must not capture them by reference or raw pointer — the
+// slot is recycled before the callback fires.  Copies, `this`, and ids are
+// fine, and so is a reference capture inside an immediately-invoked lambda
+// that never reaches a sink.
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+struct Datagram {
+  std::uint64_t id = 0;
+  std::uint32_t size = 0;
+};
+
+struct FakeSimulator {
+  void schedule_at(long when, std::function<void()> fn);
+  void submit(std::function<void()> fn);
+};
+
+void consume(const Datagram& d);
+void consume_id(std::uint64_t id);
+
+class Fabric {
+ public:
+  void deliver_later(FakeSimulator& sim, std::uint32_t slot) {
+    Datagram& dgram = slots_[slot];
+    Datagram* parked = &slots_[slot];
+
+    // Default by-reference capture into a deferred sink: everything on this
+    // stack frame (including the arena reference) dangles by fire time.
+    sim.schedule_at(5, [&] {  // expect-lint: callback-capture
+      consume(dgram);
+    });
+
+    // Explicit by-reference capture of an arena slot.
+    sim.schedule_at(6, [this, &dgram] {  // expect-lint: callback-capture
+      consume(dgram);
+    });
+
+    // Init-capture taking the address of arena state is the same bug with
+    // extra syntax.
+    sim.submit([p = &dgram] {  // expect-lint: callback-capture
+      consume(*p);
+    });
+
+    // Value capture of a raw pointer into the arena: the pointer survives,
+    // the pointee is recycled.
+    sim.submit([parked] {  // expect-lint: callback-capture
+      consume(*parked);
+    });
+
+    // Copying the payload out of the slot is the sanctioned pattern...
+    Datagram copy = slots_[slot];
+    sim.schedule_at(7, [copy] { consume(copy); });
+
+    // ...as is carrying a plain id and re-resolving at fire time.
+    std::uint64_t id = dgram.id;
+    sim.schedule_at(8, [this, id] { consume_id(id); });
+
+    // A reference capture in a lambda that never reaches a sink runs on this
+    // stack frame and is fine.
+    auto peek = [&dgram] { return dgram.size; };
+    if (peek() > 0) consume(dgram);
+  }
+
+ private:
+  std::vector<Datagram> slots_;
+};
+
+}  // namespace fixture

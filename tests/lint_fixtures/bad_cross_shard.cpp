@@ -1,0 +1,78 @@
+// Fixture: shard-ownership violations (DESIGN.md §5i).  A file that uses the
+// APE_SHARD_ macros opts into the sweep: every stateful class must name its
+// owning shard, every trailing-underscore field must carry an ownership
+// annotation from the committed owner set, and a callback handed to a
+// deferred sink must not mutate another shard's APE_SHARD_LOCAL state.
+#include <cstddef>
+#include <functional>
+
+#define APE_SHARD_CONTEXT(owner) static_assert(true, "shard context: " #owner)
+#define APE_SHARD_LOCAL(owner)
+#define APE_SHARD_SHARED
+
+namespace fixture {
+
+struct FakeSimulator {
+  void schedule_at(long when, std::function<void()> fn);
+};
+
+// Owned by the client shard; `pending_` is the cross-shard mutation target.
+class ClientRegistry {
+  APE_SHARD_CONTEXT(client);
+
+ public:
+  APE_SHARD_LOCAL(client) std::size_t pending_ = 0;
+};
+
+// Stateful class in a shard-swept file with no APE_SHARD_CONTEXT.
+class Orphan {  // expect-lint: shard-ownership
+ public:
+  int total_ = 0;
+};
+
+// Context owner outside the committed set (tools/lint/lint_config.json).
+class Accelerated {
+  APE_SHARD_CONTEXT(gpu);  // expect-lint: shard-ownership
+
+ private:
+  APE_SHARD_SHARED int queue_depth_ = 0;
+};
+
+// Context is fine but a state field carries no ownership annotation.
+class OriginStore {
+  APE_SHARD_CONTEXT(origin);
+
+ private:
+  APE_SHARD_LOCAL(origin) std::size_t bytes_ = 0;
+  int hits_ = 0;  // expect-lint: shard-ownership
+};
+
+// Local state annotated with a different shard than the class context —
+// local state belongs to its own shard; cross-shard state is SHARED.
+class EdgeAgent {
+  APE_SHARD_CONTEXT(edge);
+
+ private:
+  APE_SHARD_LOCAL(origin) std::size_t refills_ = 0;  // expect-lint: shard-ownership
+};
+
+// A deferred callback scheduled from the AP shard mutating client-owned
+// state: fine today under the serial calendar queue, a data race the moment
+// shards get their own worker threads.
+class ApScheduler {
+  APE_SHARD_CONTEXT(ap);
+
+ public:
+  void arm(ClientRegistry& reg) {
+    sim_.schedule_at(5, [this, &reg] {
+      reg.pending_ += 1;  // expect-lint: shard-ownership
+      served_ += 1;       // own-shard state: fine
+    });
+  }
+
+ private:
+  APE_SHARD_SHARED FakeSimulator& sim_;
+  APE_SHARD_LOCAL(ap) std::size_t served_ = 0;
+};
+
+}  // namespace fixture

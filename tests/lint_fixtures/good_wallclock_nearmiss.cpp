@@ -1,0 +1,33 @@
+// Fixture: wallclock near-misses — zero findings expected.  The v1 regex
+// matcher special-cased these textually; the v2 tokenizer decides from
+// token context (what precedes the identifier), and this file pins that
+// behavior: user-defined functions and members that merely *contain* or
+// *shadow* the name `time` are not wall-clock reads.
+#include <cstdint>
+
+namespace fixture {
+
+struct Clock {
+  std::int64_t time() const;   // member declaration, not ::time(2)
+  std::int64_t clock() const;  // member named clock, not ::clock(3)
+};
+
+// Free-function *declaration* named time: the return type sits directly
+// before the name, which is how the check tells a declaration from a call.
+// (A bare *call* `time(...)` still fires — it is indistinguishable from
+// ::time(2) and simulated code has no business making one.)
+double time(int zone);
+
+// Identifier that merely ends in `time(`.
+std::int64_t busy_time(const Clock& c);
+
+inline std::int64_t sample(const Clock& c, Clock* p) {
+  std::int64_t total = 0;
+  total += c.time();       // member call through `.`
+  total += p->time();      // member call through `->`
+  total += p->clock();
+  total += busy_time(c);   // suffix near-miss
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: lowest layer — includes nothing, everyone may include it.
+#pragma once
+
+namespace fixture_graph {
+using Tick = long long;
+}  // namespace fixture_graph

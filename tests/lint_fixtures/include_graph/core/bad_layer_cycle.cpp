@@ -1,0 +1,14 @@
+// Fixture: entry point pulling the cyclic pair into the graph; its own
+// includes are legal (own module + lower layers), so no finding lands here.
+#include "core/cycle_a.hpp"
+#include "net/fabric.hpp"
+#include "sim/clock.hpp"
+
+namespace fixture_graph {
+int build_world() {
+  CycleA a;
+  Fabric f;
+  SimClock c;
+  return a.from_b + static_cast<int>(f.one_way_latency + c.now);
+}
+}  // namespace fixture_graph

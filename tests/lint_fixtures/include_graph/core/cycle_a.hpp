@@ -1,0 +1,13 @@
+// Fixture: half of an include cycle inside one module.  The layer map has
+// nothing to say (same module), but the file-level graph does: with
+// #pragma once a cyclic include compiles into silent truncation.  The cycle
+// finding anchors here, the lexicographically smallest member.
+#pragma once
+
+#include "core/cycle_b.hpp"  // expect-lint: layer-graph
+
+namespace fixture_graph {
+struct CycleA {
+  int from_b = 0;
+};
+}  // namespace fixture_graph

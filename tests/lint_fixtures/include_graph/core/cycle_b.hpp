@@ -1,0 +1,11 @@
+// Fixture: the other half of the core/cycle_a.hpp <-> core/cycle_b.hpp
+// cycle.  Reported once, anchored at cycle_a (see that file).
+#pragma once
+
+#include "core/cycle_a.hpp"
+
+namespace fixture_graph {
+struct CycleB {
+  int from_a = 0;
+};
+}  // namespace fixture_graph

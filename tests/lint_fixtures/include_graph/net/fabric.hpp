@@ -1,0 +1,10 @@
+// Fixture: net includes only layers below it — clean.
+#pragma once
+
+#include "common/base.hpp"
+
+namespace fixture_graph {
+struct Fabric {
+  Tick one_way_latency = 0;
+};
+}  // namespace fixture_graph

@@ -1,0 +1,13 @@
+// Fixture: layer-map violations.  sim and stats are committed as same-layer
+// peers, and net sits a layer above sim — both includes break the map.
+#pragma once
+
+#include "common/base.hpp"
+#include "net/fabric.hpp"    // expect-lint: layer-graph
+#include "stats/tally.hpp"   // expect-lint: layer-graph
+
+namespace fixture_graph {
+struct SimClock {
+  Tick now = 0;
+};
+}  // namespace fixture_graph

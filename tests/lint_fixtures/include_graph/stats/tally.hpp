@@ -1,0 +1,10 @@
+// Fixture: stats sits one layer above common; this downward include is fine.
+#pragma once
+
+#include "common/base.hpp"
+
+namespace fixture_graph {
+struct Tally {
+  Tick total = 0;
+};
+}  // namespace fixture_graph

@@ -2,53 +2,17 @@
 """ape-lint: repo-specific static analysis for the APE-CACHE tree.
 
 The observability layer promises that two identically seeded runs export
-byte-identical `ape.obs.v1` snapshots.  That promise rests on invariants no
-compiler enforces:
+byte-identical `ape.obs.v1` snapshots, and the roadmap's parallel-shard
+direction requires that AP-owned state is never touched from another shard.
+Those promises rest on invariants no compiler enforces.  ape-lint enforces
+them with a real (if deliberately small) analysis core — a C++ tokenizer, a
+brace-matched scope tracker with a per-file symbol table, and a repo-wide
+include graph — no libclang, no network, no third-party packages.  See
+DESIGN.md §5i for the architecture and tools/lint/lint_config.json for the
+committed analysis contract (layer map, shard owners, callback sinks).
 
-  * no wall-clock or ambient randomness on simulated paths,
-  * no iteration over unordered containers on any path that feeds exporters,
-    eviction ordering, or DNS response assembly,
-  * no silently dropped `Result<T>` values, and
-  * no raw `double` seconds where the `sim::Time`/`sim::Duration` types exist.
-
-This tool enforces them with token/regex analysis — no libclang, no network,
-no third-party packages.  It is deliberately repo-specific: identifier-based
-heuristics that would be unsound for arbitrary C++ are fine here because the
-tree is the closed world they run against.
-
-Checks
-------
-  wallclock         std::random_device / std::rand / srand / time() /
-                    system_clock / steady_clock / high_resolution_clock /
-                    gettimeofday / clock_gettime outside an allowlist line.
-  unordered-iter    range-for or .begin()/.cbegin() iteration over a variable
-                    declared anywhere in the tree as std::unordered_map or
-                    std::unordered_set.
-  discarded-result  a bare expression statement calling a function declared
-                    to return [common/result.hpp's] Result<T>.
-  raw-seconds       `double <name>_s|_sec|_secs|_seconds` declarations —
-                    use sim::Duration / sim::Time instead.
-  span-leak         a trace-span context captured from SpanLog::open()/
-                    open_root() that is never mentioned again after the
-                    opening statement — it can never be closed, so the span
-                    stays open and validate_spans() flags the whole trace.
-  cursor-bypass     a direct MetricsRegistry read (.counters()/.gauges()/
-                    .histograms()/.counter()/...) inside the body of a
-                    window-capture function (name starting with `capture` or
-                    `scrape`) — those paths must read through the Timeline
-                    DeltaCursor (advance()), or the same increment lands in
-                    two windows and delta-sum reconciliation breaks (the
-                    idempotency-cursor trap record_span_histograms guards
-                    against).
-  hot-alloc         in a file annotated `// ape-lint: hot-path` (the event
-                    engine and its satellites, DESIGN.md §5h): a heap
-                    allocation (`new`, make_unique/make_shared — placement
-                    new is fine) or a by-name metric lookup
-                    (.counter("...")/.gauge("...")/.histogram("...")/
-                    .count("...")), both of which defeat the arena/handle
-                    design those files exist for.  Hot paths resolve
-                    instruments once through obs::CounterHandle/
-                    HistogramHandle and recycle event state through arenas.
+Run `ape_lint.py --list-checks` for the check registry; the per-check
+rationale lives in DESIGN.md §5i.
 
 Allowlisting
 ------------
@@ -60,7 +24,8 @@ comment-only line directly above it:
     // ape-lint: allow(unordered-iter) -- snapshot is sorted two lines down
     for (const auto& [k, v] : unordered_thing) ...
 
-A whole file opts out of one check with `// ape-lint: allow-file(<check>)`.
+A whole file opts out of one check with `// ape-lint: allow-file(<check>)`,
+and opts into the hot-alloc check with `// ape-lint: hot-path`.
 
 Fixture mode
 ------------
@@ -68,706 +33,107 @@ Fixture mode
 findings against `// expect-lint: <check>` markers; any missing or unexpected
 finding fails the run.  This is what the `lint_fixtures` ctest entry drives.
 
-Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage error.
+Caching
+-------
+`--cache FILE` keeps a per-file content-hash cache (harvests keyed on the
+file sha, findings keyed on sha + cross-file digest); warm full-tree runs
+re-parse nothing.  `--time-budget SECONDS` fails the run when wall time
+exceeds the budget — CI uses it to keep the warm path honest.
+
+Exit codes: 0 clean, 1 findings (or fixture mismatch / budget blown), 2 usage
+error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
-import re
 import sys
-from typing import Dict, List, Set, Tuple
-
-CHECKS = ("wallclock", "unordered-iter", "discarded-result", "raw-seconds", "span-leak",
-          "cursor-bypass", "hot-alloc")
-
-SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
-
-ALLOW_RE = re.compile(r"ape-lint:\s*allow\(([^)]*)\)")
-ALLOW_FILE_RE = re.compile(r"ape-lint:\s*allow-file\(([^)]*)\)")
-EXPECT_RE = re.compile(r"expect-lint:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
-
-# --------------------------------------------------------------------------
-# wallclock tokens.  `time(` must not match `busy_time(`, `.time()` or
-# `->time()`: reject a preceding word char, `.`, or `>`.
-WALLCLOCK_RE = re.compile(
-    r"std::random_device\b"
-    r"|\brandom_device\b"
-    r"|std::rand\b"
-    r"|(?<![\w.>:])rand\s*\("
-    r"|\bsrand\s*\("
-    r"|(?<![\w.>])(?<!double )(?<!float )(?<!auto )(?<!int )time\s*\("
-    r"|\bsystem_clock\b"
-    r"|\bsteady_clock\b"
-    r"|\bhigh_resolution_clock\b"
-    r"|\bgettimeofday\s*\("
-    r"|\bclock_gettime\s*\("
-    r"|std::clock\s*\("
-)
-
-# `double foo_s` / `double ttl_seconds` declarations.  Rates (`*_per_sec`)
-# are not seconds quantities, and a following `(` means a function returning
-# double (e.g. the sanctioned sim::to_seconds conversion), not a variable.
-RAW_SECONDS_RE = re.compile(
-    r"\bdouble\s+(?![A-Za-z_]\w*per_s(?:ec)?\b)((?:[A-Za-z_]\w*_(?:s|sec|secs|seconds)))\s*[;=,){]"
-)
-
-UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
-
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
-
-RESULT_FN_RE = re.compile(
-    r"\bResult\s*<[^;{}()]*?>\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
-)
-
-# A bare expression statement whose first meaningful token chain is a call of
-# NAME: optional object path, then NAME(, with nothing consuming the value.
-STATEMENT_PREFIX_SKIP_RE = re.compile(
-    r"^\s*(?:return\b|co_return\b|if\b|else\b|while\b|for\b|switch\b|case\b|"
-    r"auto\b|const\b|static\b|using\b|typedef\b|delete\b|throw\b|"
-    r"EXPECT_|ASSERT_|\(void\)|#)"
-)
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literal bodies, preserving length
-    and newlines so offsets keep mapping to the original line numbers."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            chunk = text[i : j + 2]
-            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
-            i = j + 2
-        elif c == '"' or c == "'":
-            quote = c
-            j = i + 1
-            while j < n:
-                if text[j] == "\\":
-                    j += 2
-                    continue
-                if text[j] == quote or text[j] == "\n":
-                    break
-                j += 1
-            chunk = text[i : min(j + 1, n)]
-            out.append(quote + "".join(ch if ch == "\n" else " " for ch in chunk[1:-1]) + (chunk[-1] if len(chunk) > 1 else ""))
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-class Finding:
-    __slots__ = ("path", "line", "check", "message")
-
-    def __init__(self, path: str, line: int, check: str, message: str):
-        self.path = path
-        self.line = line
-        self.check = check
-        self.message = message
-
-    def render(self, root: str) -> str:
-        rel = os.path.relpath(self.path, root)
-        return f"{rel}:{self.line}: [{self.check}] {self.message}"
-
-
-class SourceFile:
-    def __init__(self, path: str):
-        self.path = path
-        with open(path, "r", encoding="utf-8", errors="replace") as f:
-            self.text = f.read()
-        self.raw_lines = self.text.split("\n")
-        self.code = strip_comments_and_strings(self.text)
-        self.code_lines = self.code.split("\n")
-        self.allow: Dict[int, Set[str]] = {}
-        self.allow_file: Set[str] = set()
-        self._collect_allowances()
-
-    def _collect_allowances(self) -> None:
-        for idx, raw in enumerate(self.raw_lines, start=1):
-            m = ALLOW_FILE_RE.search(raw)
-            if m:
-                self.allow_file.update(p.strip() for p in m.group(1).split(","))
-            m = ALLOW_RE.search(raw)
-            if not m:
-                continue
-            checks = {p.strip() for p in m.group(1).split(",")}
-            self.allow.setdefault(idx, set()).update(checks)
-            # A comment-only annotation line covers the next line.
-            if self.code_lines[idx - 1].strip() == "":
-                self.allow.setdefault(idx + 1, set()).update(checks)
-
-    def allowed(self, line: int, check: str) -> bool:
-        if check in self.allow_file:
-            return True
-        return check in self.allow.get(line, set())
-
-    def line_of_offset(self, offset: int) -> int:
-        return self.code.count("\n", 0, offset) + 1
-
-
-# --------------------------------------------------------------------------
-# Declaration harvesting (cross-file): names of variables declared with an
-# unordered container type, and names of functions returning Result<T>.
-
-
-def _identifier_after_template(code: str, start: int) -> Tuple[str, int]:
-    """Given `start` at the `<` of `unordered_map<`, skip the balanced
-    template argument list and return (identifier, offset) for the variable
-    name that follows, or ("", start) when none does."""
-    depth = 0
-    i = start
-    n = len(code)
-    while i < n:
-        c = code[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                i += 1
-                break
-        elif c in ";{}" and depth == 0:
-            return "", start
-        i += 1
-    m = re.match(r"\s*(?:&|\*|const\b|\s)*\s*([A-Za-z_]\w*)\s*(?:[;={,)(]|\[)", code[i : i + 160])
-    if not m:
-        return "", i
-    name = m.group(1)
-    if name in ("final", "override", "const", "noexcept"):
-        return "", i
-    return name, i + m.start(1)
-
-
-def harvest_unordered_names(files: List[SourceFile]) -> Set[str]:
-    names: Set[str] = set()
-    for sf in files:
-        for m in UNORDERED_DECL_RE.finditer(sf.code):
-            name, _ = _identifier_after_template(sf.code, m.end() - 1)
-            if name:
-                names.add(name)
-    return names
-
-
-NON_RESULT_FN_RE = re.compile(
-    r"\b(?:void|bool|int|auto|std::\w+|[A-Z]\w*)\s+(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
-)
-
-
-def harvest_result_functions(files: List[SourceFile]) -> Set[str]:
-    """Names declared returning Result<T> — minus any name that also has a
-    non-Result overload (e.g. ByteWriter::u16(void) vs ByteReader::u16()),
-    which would make call-site name matching ambiguous."""
-    names: Set[str] = set()
-    ambiguous: Set[str] = set()
-    for sf in files:
-        for m in RESULT_FN_RE.finditer(sf.code):
-            name = m.group(1)
-            if name not in ("Result", "operator"):
-                names.add(name)
-        for m in NON_RESULT_FN_RE.finditer(sf.code):
-            if "Result" in m.group(0):
-                continue
-            ambiguous.add(m.group(1))
-    return names - ambiguous
-
-
-# --------------------------------------------------------------------------
-# Checks
-
-
-def check_wallclock(sf: SourceFile) -> List[Finding]:
-    findings = []
-    for m in WALLCLOCK_RE.finditer(sf.code):
-        line = sf.line_of_offset(m.start())
-        token = m.group(0).strip().rstrip("(").strip()
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "wallclock",
-                f"wall-clock/ambient-randomness call `{token}` — simulated paths "
-                "must use sim::Simulator time or sim::Rng; annotate the rare "
-                "legitimate site with `// ape-lint: allow(wallclock)`",
-            )
-        )
-    return findings
-
-
-def _range_for_sequences(code: str):
-    """Yield (offset, sequence_expression) for every range-based for."""
-    for m in RANGE_FOR_RE.finditer(code):
-        i = m.end() - 1  # at '('
-        depth = 0
-        j = i
-        n = len(code)
-        while j < n:
-            if code[j] == "(":
-                depth += 1
-            elif code[j] == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            j += 1
-        body = code[i + 1 : j]
-        # find a ':' that is not part of '::' at angle-depth 0
-        angle = paren = 0
-        colon = -1
-        k = 0
-        while k < len(body):
-            c = body[k]
-            if c == "<":
-                angle += 1
-            elif c == ">":
-                angle = max(0, angle - 1)
-            elif c == "(" or c == "[":
-                paren += 1
-            elif c == ")" or c == "]":
-                paren -= 1
-            elif c == ":" and angle == 0 and paren == 0:
-                if k + 1 < len(body) and body[k + 1] == ":":
-                    k += 2
-                    continue
-                if k > 0 and body[k - 1] == ":":
-                    k += 1
-                    continue
-                colon = k
-                break
-            k += 1
-        if colon == -1:
-            continue
-        yield m.start(), body[colon + 1 :].strip()
-
-
-def check_unordered_iter(sf: SourceFile, unordered_names: Set[str]) -> List[Finding]:
-    findings = []
-    for offset, seq in _range_for_sequences(sf.code):
-        expr = seq.lstrip("*&( ").rstrip(") ")
-        last = re.split(r"[.\s]|->", expr)[-1]
-        target = None
-        if expr in unordered_names:
-            target = expr
-        elif last in unordered_names:
-            target = last
-        if target is None:
-            continue
-        line = sf.line_of_offset(offset)
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "unordered-iter",
-                f"range-for over unordered container `{target}` — iteration order "
-                "is hash-seed dependent; use common::sorted_keys/sorted_items "
-                "(src/common/ordered.hpp) or an ordered container",
-            )
-        )
-    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(", sf.code):
-        name = m.group(1)
-        if name not in unordered_names:
-            continue
-        line = sf.line_of_offset(m.start())
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "unordered-iter",
-                f"iterator walk over unordered container `{name}` — iteration "
-                "order is hash-seed dependent; use common::sorted_keys/"
-                "sorted_items (src/common/ordered.hpp) or an ordered container",
-            )
-        )
-    return findings
-
-
-def check_discarded_result(sf: SourceFile, result_fns: Set[str]) -> List[Finding]:
-    findings = []
-    if not result_fns:
-        return findings
-    call_re = re.compile(
-        r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*(" + "|".join(sorted(result_fns)) + r")\s*\("
-    )
-    for idx, line in enumerate(sf.code_lines, start=1):
-        if STATEMENT_PREFIX_SKIP_RE.match(line):
-            continue
-        m = call_re.match(line)
-        if not m:
-            continue
-        # Anything consuming the value on the same line disqualifies the
-        # "bare statement" reading: assignment, comparison, return-by-ref...
-        before = line[: m.start(1)]
-        if "=" in before or "return" in before:
-            continue
-        tail = line[m.end(1) :]
-        # Walk the balanced call; a bare statement ends with `;` right after.
-        depth = 0
-        consumed = None
-        for ch in tail:
-            if ch == "(":
-                depth += 1
-            elif ch == ")":
-                depth -= 1
-                if depth == 0:
-                    consumed = tail[tail.index(ch) :]
-                    break
-        if depth != 0:
-            # Multi-line call: conservatively treat statement start as bare.
-            pass
-        else:
-            after = None
-            d = 0
-            for pos, ch in enumerate(tail):
-                if ch == "(":
-                    d += 1
-                elif ch == ")":
-                    d -= 1
-                    if d == 0:
-                        after = tail[pos + 1 :].strip()
-                        break
-            if after is not None and after not in (";", ""):
-                continue  # .value(), chained call, operator — consumed
-        findings.append(
-            Finding(
-                sf.path,
-                idx,
-                "discarded-result",
-                f"call of Result-returning `{m.group(1)}` discards the result — "
-                "check ok()/error() or cast via static_cast<void> with an "
-                "explanatory comment",
-            )
-        )
-    return findings
-
-
-# A span-context variable born from SpanLog::open()/open_root().  Matching
-# on the method name alone would false-positive on `file.open(path)` — those
-# are statements, not assignments — so require the `name = ....open...(`
-# shape and a Trace/Span-ish receiver or declaration nearby.
-SPAN_OPEN_RE = re.compile(
-    r"\b([A-Za-z_]\w*)\s*=\s*(?:[A-Za-z_]\w*(?:\.|->|::))*open(?:_root)?\s*\("
-)
-
-
-def check_span_leak(sf: SourceFile) -> List[Finding]:
-    findings = []
-    for m in SPAN_OPEN_RE.finditer(sf.code):
-        name = m.group(1)
-        # Walk to the end of the opening statement (the `;` at paren depth 0);
-        # any later mention of the variable — a close(), a pass to a helper or
-        # callback capture, a ScopedTraceContext — counts as a handoff.
-        i = m.end() - 1
-        depth = 0
-        n = len(sf.code)
-        while i < n:
-            c = sf.code[i]
-            if c == "(":
-                depth += 1
-            elif c == ")":
-                depth -= 1
-            elif c == ";" and depth == 0:
-                break
-            i += 1
-        if re.search(r"\b" + re.escape(name) + r"\b", sf.code[i:]):
-            continue
-        line = sf.line_of_offset(m.start())
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "span-leak",
-                f"span context `{name}` is never used after open() — it can "
-                "never be closed, the span stays open forever, and "
-                "validate_spans() rejects the trace; close it or hand it to "
-                "the completion path",
-            )
-        )
-    return findings
-
-
-# A window-capture function: unqualified name starting with capture/scrape.
-# The lookbehind rejects `.capture(`/`->capture(` method *calls* so only the
-# definition site (optionally `Class::capture(`) is scanned.
-CAPTURE_FN_NAME_RE = re.compile(r"(?<![\w.>])((?:capture|scrape)\w*)\s*\(")
-
-# Direct registry reads that bypass the delta cursor.  The lookup-or-create
-# accessors are included: resolving an instrument mid-capture is the same
-# double-count trap as walking the maps.
-REGISTRY_READ_RE = re.compile(
-    r"\b[A-Za-z_]\w*(?:\.|->)(counters|gauges|histograms|counter|gauge|histogram)\s*\("
-)
-
-
-def check_cursor_bypass(sf: SourceFile) -> List[Finding]:
-    findings = []
-    n = len(sf.code)
-    for m in CAPTURE_FN_NAME_RE.finditer(sf.code):
-        # Balanced parameter list, then optional qualifiers, then `{` — a
-        # definition.  Calls / declarations end in `;` and are skipped.
-        i = m.end() - 1
-        depth = 0
-        while i < n:
-            c = sf.code[i]
-            if c == "(":
-                depth += 1
-            elif c == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        if i >= n:
-            continue
-        qual = re.match(r"(?:\s|const\b|noexcept\b|override\b|final\b)*\{", sf.code[i + 1 :])
-        if not qual:
-            continue
-        body_start = i + 1 + qual.end() - 1
-        k = body_start
-        depth = 0
-        while k < n:
-            c = sf.code[k]
-            if c == "{":
-                depth += 1
-            elif c == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            k += 1
-        body = sf.code[body_start:k]
-        for rm in REGISTRY_READ_RE.finditer(body):
-            line = sf.line_of_offset(body_start + rm.start())
-            findings.append(
-                Finding(
-                    sf.path,
-                    line,
-                    "cursor-bypass",
-                    f"direct MetricsRegistry read `.{rm.group(1)}(...)` inside "
-                    f"window-capture path `{m.group(1)}` — route reads through "
-                    "the Timeline DeltaCursor (advance()) so every increment "
-                    "lands in exactly one window; annotate a deliberate "
-                    "non-windowed read with `// ape-lint: allow(cursor-bypass)`",
-                )
-            )
-    return findings
-
-
-# Opt-in marker: only files that declare themselves hot-path are scanned.
-HOT_PATH_MARKER_RE = re.compile(r"ape-lint:\s*hot-path\b")
-
-# A heap allocation.  Placement new (`new (buf) T(...)` / `::new (p) ...`)
-# constructs into existing storage and is exactly the idiom arenas use, so
-# `new` immediately followed by `(` is exempt.
-HOT_ALLOC_NEW_RE = re.compile(r"\bnew\b(?!\s*\()")
-HOT_ALLOC_MAKE_RE = re.compile(r"\bmake_(?:unique|shared)\s*<")
-
-# A by-name instrument lookup: the string literal is the tell — a handle or
-# a pre-resolved reference has no business passing a name on a hot path.
-# (Literal bodies are blanked by strip_comments_and_strings but the quote
-# characters survive, so `counter("` still matches.)
-HOT_METRIC_BY_NAME_RE = re.compile(r"(?:\.|->)(counter|gauge|histogram|count)\s*\(\s*\"")
-
-
-def check_hot_alloc(sf: SourceFile) -> List[Finding]:
-    findings = []
-    if not HOT_PATH_MARKER_RE.search(sf.text):
-        return findings
-    for m in HOT_ALLOC_NEW_RE.finditer(sf.code):
-        line = sf.line_of_offset(m.start())
-        # `#include <new>` and friends are not allocations.
-        if sf.code_lines[line - 1].lstrip().startswith("#"):
-            continue
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "hot-alloc",
-                "heap allocation in a hot-path file — recycle through an arena "
-                "(sim::Simulator slots, net::Network in-flight datagrams) or "
-                "keep state inline in sim::SmallFn; annotate a deliberate "
-                "cold-path allocation with `// ape-lint: allow(hot-alloc)`",
-            )
-        )
-    for m in HOT_ALLOC_MAKE_RE.finditer(sf.code):
-        line = sf.line_of_offset(m.start())
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "hot-alloc",
-                "make_unique/make_shared in a hot-path file — recycle through "
-                "an arena or keep state inline; annotate a deliberate cold-path "
-                "allocation with `// ape-lint: allow(hot-alloc)`",
-            )
-        )
-    for m in HOT_METRIC_BY_NAME_RE.finditer(sf.code):
-        line = sf.line_of_offset(m.start())
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "hot-alloc",
-                f"by-name metric lookup `.{m.group(1)}(\"...\")` in a hot-path "
-                "file — resolve once into an obs::CounterHandle/HistogramHandle "
-                "at construction; annotate a deliberate snapshot-time lookup "
-                "with `// ape-lint: allow(hot-alloc)`",
-            )
-        )
-    return findings
-
-
-def check_raw_seconds(sf: SourceFile) -> List[Finding]:
-    findings = []
-    for m in RAW_SECONDS_RE.finditer(sf.code):
-        line = sf.line_of_offset(m.start())
-        findings.append(
-            Finding(
-                sf.path,
-                line,
-                "raw-seconds",
-                "raw `double` seconds variable — prefer sim::Duration/sim::Time "
-                "(src/sim/time.hpp); annotate deliberate plain-unit math with "
-                "`// ape-lint: allow(raw-seconds)`",
-            )
-        )
-    return findings
-
-
-# --------------------------------------------------------------------------
-
-
-def collect_files(paths: List[str]) -> List[str]:
-    out = []
-    for p in paths:
-        if os.path.isfile(p):
-            if p.endswith(SOURCE_EXTENSIONS):
-                out.append(os.path.abspath(p))
-            continue
-        for dirpath, dirnames, filenames in os.walk(p):
-            dirnames[:] = sorted(d for d in dirnames if d not in ("build", ".git"))
-            for fn in sorted(filenames):
-                if fn.endswith(SOURCE_EXTENSIONS):
-                    out.append(os.path.abspath(os.path.join(dirpath, fn)))
-    return sorted(set(out))
-
-
-def run_checks(
-    files: List[SourceFile], unordered_names: Set[str], result_fns: Set[str]
-) -> List[Finding]:
-    findings: List[Finding] = []
-    for sf in files:
-        raw: List[Finding] = []
-        raw += check_wallclock(sf)
-        raw += check_unordered_iter(sf, unordered_names)
-        raw += check_discarded_result(sf, result_fns)
-        raw += check_raw_seconds(sf)
-        raw += check_span_leak(sf)
-        raw += check_cursor_bypass(sf)
-        raw += check_hot_alloc(sf)
-        seen = set()
-        for f in raw:
-            if sf.allowed(f.line, f.check):
-                continue
-            key = (f.line, f.check)
-            if key in seen:
-                continue
-            seen.add(key)
-            findings.append(f)
-    findings.sort(key=lambda f: (f.path, f.line, f.check))
-    return findings
-
-
-def run_fixture_mode(fixture_dir: str, root: str) -> int:
-    paths = collect_files([fixture_dir])
-    if not paths:
-        print(f"ape-lint: no fixture files under {fixture_dir}", file=sys.stderr)
-        return 2
-    files = [SourceFile(p) for p in paths]
-    # Fixtures are a closed world: harvest declarations from fixtures only,
-    # plus the real tree's Result functions are irrelevant here.
-    unordered_names = harvest_unordered_names(files)
-    result_fns = harvest_result_functions(files)
-    failures = 0
-    for sf in files:
-        expected: Set[Tuple[int, str]] = set()
-        for idx, rawline in enumerate(sf.raw_lines, start=1):
-            m = EXPECT_RE.search(rawline)
-            if m:
-                for check in (p.strip() for p in m.group(1).split(",")):
-                    expected.add((idx, check))
-        actual = {
-            (f.line, f.check)
-            for f in run_checks([sf], unordered_names, result_fns)
-        }
-        for line, check in sorted(expected - actual):
-            print(
-                f"FIXTURE FAIL {os.path.relpath(sf.path, root)}:{line}: "
-                f"expected [{check}] did not fire"
-            )
-            failures += 1
-        for line, check in sorted(actual - expected):
-            print(
-                f"FIXTURE FAIL {os.path.relpath(sf.path, root)}:{line}: "
-                f"unexpected [{check}] fired"
-            )
-            failures += 1
-    total = sum(
-        1 for sf in files for _ in EXPECT_RE.finditer("\n".join(sf.raw_lines))
-    )
-    if failures:
-        print(f"ape-lint fixtures: {failures} mismatch(es)")
-        return 1
-    print(f"ape-lint fixtures: OK ({len(files)} files, {total} expectation lines)")
-    return 0
+import time
+from typing import List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from apelint import ENGINE_VERSION  # noqa: E402
+from apelint.cache import LintCache  # noqa: E402
+from apelint.checks import CHECKS  # noqa: E402
+from apelint.engine import load_config, run_fixture_mode, run_lint  # noqa: E402
 
 
 def main(argv: List[str]) -> int:
-    parser = argparse.ArgumentParser(prog="ape-lint", description=__doc__.split("\n")[0])
+    parser = argparse.ArgumentParser(prog="ape-lint",
+                                     description=__doc__.split("\n")[0])
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
-    parser.add_argument("--root", default=os.getcwd(), help="repo root for display paths")
-    parser.add_argument(
-        "--fixtures", metavar="DIR", help="run in fixture self-test mode over DIR"
-    )
-    parser.add_argument(
-        "--check",
-        action="append",
-        choices=CHECKS,
-        help="run only the named check(s); default: all",
-    )
+    parser.add_argument("--root", default=os.getcwd(),
+                        help="repo root for display paths and module mapping")
+    parser.add_argument("--fixtures", metavar="DIR",
+                        help="run in fixture self-test mode over DIR")
+    parser.add_argument("--check", action="append", choices=sorted(CHECKS),
+                        help="run only the named check(s); default: all")
+    parser.add_argument("--config", metavar="FILE",
+                        help="analysis contract (default: tools/lint/lint_config.json)")
+    parser.add_argument("--json", action="store_true", dest="json_out",
+                        help="emit findings as stable JSON on stdout (for CI artifacts)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the check registry and exit")
+    parser.add_argument("--cache", metavar="FILE",
+                        help="per-file content-hash cache (created on first run)")
+    parser.add_argument("--time-budget", type=float, metavar="SECONDS",
+                        help="fail when the run exceeds this wall time")
     args = parser.parse_args(argv)
     root = os.path.abspath(args.root)
 
+    if args.list_checks:
+        for name in sorted(CHECKS):
+            print(f"{name:18} {CHECKS[name]}")
+        return 0
+
+    config = load_config(args.config)
+
     if args.fixtures:
-        return run_fixture_mode(args.fixtures, root)
+        return run_fixture_mode(args.fixtures, root, config)
 
     if not args.paths:
         parser.error("no paths given (and --fixtures not set)")
 
-    paths = collect_files([os.path.join(root, p) if not os.path.isabs(p) else p for p in args.paths])
-    if not paths:
-        print("ape-lint: no source files found", file=sys.stderr)
-        return 2
-    files = [SourceFile(p) for p in paths]
-    unordered_names = harvest_unordered_names(files)
-    result_fns = harvest_result_functions(files)
-    findings = run_checks(files, unordered_names, result_fns)
+    started = time.monotonic()
+    cache = LintCache(args.cache) if args.cache else None
+    paths = [p if os.path.isabs(p) else os.path.join(root, p) for p in args.paths]
+    run = run_lint(root, paths, config, cache=cache)
+    findings = run.findings
     if args.check:
         findings = [f for f in findings if f.check in args.check]
-    for f in findings:
-        print(f.render(root))
+    elapsed = time.monotonic() - started
+
+    if args.json_out:
+        print(json.dumps({
+            "engine": ENGINE_VERSION,
+            "files": len(run.files),
+            "parsed": run.parsed,
+            "cache": {"harvest_hits": run.harvest_hits,
+                      "finding_hits": run.finding_hits},
+            "elapsed_s": round(elapsed, 3),
+            "findings": [{"path": f.path, "line": f.line, "check": f.check,
+                          "message": f.message} for f in findings],
+        }, indent=2, sort_keys=True))
+    else:
+        for f in findings:
+            print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
+
+    status = 0
     if findings:
-        print(f"ape-lint: {len(findings)} finding(s) in {len(files)} files")
-        return 1
-    print(f"ape-lint: clean ({len(files)} files)")
-    return 0
+        if not args.json_out:
+            print(f"ape-lint: {len(findings)} finding(s) in {len(run.files)} files")
+        status = 1
+    elif not args.json_out:
+        print(f"ape-lint: clean ({len(run.files)} files, "
+              f"{run.parsed} parsed, {elapsed:.2f}s)")
+    if args.time_budget is not None and elapsed > args.time_budget:
+        print(f"ape-lint: wall time {elapsed:.2f}s exceeds budget "
+              f"{args.time_budget:.2f}s", file=sys.stderr)
+        status = max(status, 1)
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,21 @@
+"""apelint: the symbol-aware analysis core behind ape-lint (DESIGN.md §5i).
+
+Layered as data flows:
+
+    tokens.py   C++ tokenizer (comment/string/raw-string aware)
+    source.py   SourceFile: tokens + allow/expect annotations + line mapping
+    symbols.py  brace-matched scope tracker + per-file symbol table
+    graph.py    repo-wide include graph, layer map, cycle detection
+    checks.py   the checks, written against tokens/symbols/graph
+    cache.py    per-file content-hash result cache
+    engine.py   orchestration: harvest, cross-file digest, fixtures, JSON
+
+Everything is dependency-free pure Python; identifier-based heuristics that
+would be unsound for arbitrary C++ are fine here because the APE-CACHE tree
+is the closed world they run against.
+"""
+
+# Bump whenever tokenization, symbol resolution, or any check changes
+# behaviour: the result cache keys on it, so stale findings can never
+# survive an engine upgrade.
+ENGINE_VERSION = "2.0.0"

@@ -1,0 +1,88 @@
+"""Two-level per-file content-hash cache.
+
+Level 1 keys the *harvest* (includes, unordered names, Result functions,
+shard field owners, allow annotations) on the file's own sha256 — a warm run
+never re-tokenizes an unchanged file.
+
+Level 2 keys the *findings* on (file sha, cross-file digest): per-file checks
+consume merged repo-wide context (the unordered-name set, the Result-function
+set, the shard field->owner map, the check configuration), so editing one
+file can invalidate findings everywhere — but only when the edit changes the
+harvested context, which the digest captures exactly.  Graph checks are
+recomputed from harvests on every run; they are two orders of magnitude
+cheaper than parsing.
+
+The cache file is JSON, written atomically, versioned with ENGINE_VERSION:
+a lint-engine upgrade invalidates everything without needing a manual wipe.
+Every failure mode (missing file, corrupt JSON, wrong version, read-only
+directory) degrades to a cold run, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import List, Optional
+
+from . import ENGINE_VERSION
+
+
+class LintCache:
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self.files: dict = {}
+        self.harvest_hits = 0
+        self.finding_hits = 0
+        self.dirty = False
+        if path is not None and os.path.isfile(path):
+            try:
+                with open(path, "r", encoding="utf-8") as f:
+                    data = json.load(f)
+                if isinstance(data, dict) and data.get("version") == ENGINE_VERSION \
+                        and isinstance(data.get("files"), dict):
+                    self.files = data["files"]
+            except (OSError, ValueError):
+                self.files = {}
+
+    def harvest_for(self, rel: str, sha: str) -> Optional[dict]:
+        entry = self.files.get(rel)
+        if entry is not None and entry.get("sha") == sha \
+                and isinstance(entry.get("harvest"), dict):
+            self.harvest_hits += 1
+            return entry["harvest"]
+        return None
+
+    def findings_for(self, rel: str, sha: str, digest: str) -> Optional[List[list]]:
+        entry = self.files.get(rel)
+        if entry is not None and entry.get("sha") == sha \
+                and entry.get("digest") == digest \
+                and isinstance(entry.get("findings"), list):
+            self.finding_hits += 1
+            return entry["findings"]
+        return None
+
+    def store(self, rel: str, sha: str, harvest: dict, digest: str,
+              findings: List[list]) -> None:
+        self.files[rel] = {"sha": sha, "harvest": harvest,
+                           "digest": digest, "findings": findings}
+        self.dirty = True
+
+    def prune(self, live_rels) -> None:
+        dead = [rel for rel in self.files if rel not in live_rels]
+        for rel in dead:
+            del self.files[rel]
+            self.dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self.dirty:
+            return
+        payload = {"version": ENGINE_VERSION, "files": self.files}
+        try:
+            d = os.path.dirname(self.path) or "."
+            fd, tmp = tempfile.mkstemp(prefix=".ape_lint_cache.", dir=d)
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(payload, f, separators=(",", ":"), sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            pass  # read-only tree: stay a cold-run tool

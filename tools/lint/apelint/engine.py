@@ -1,0 +1,250 @@
+"""Orchestration: file collection, cross-file context, cache, fixture mode.
+
+A run is three passes:
+
+  1. harvest  — per file, cached on the file's sha: tokenize, build the
+     symbol table, extract what other files' checks need.
+  2. merge    — fold harvests into one CrossContext and hash it into the
+     cross-file digest.
+  3. check    — per file, cached on (sha, digest): the ten checks; plus the
+     graph checks (layer map, include cycles), recomputed from harvests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Set, Tuple
+
+from . import ENGINE_VERSION
+from .cache import LintCache
+from .checks import CrossContext, harvest, run_per_file_checks
+from .graph import IncludeGraph, LayerMap
+from .source import Finding, SourceFile
+from .symbols import SymbolTable
+
+SOURCE_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+
+
+def default_config_path() -> str:
+    return os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                        "lint_config.json")
+
+
+def load_config(path: Optional[str] = None) -> dict:
+    with open(path or default_config_path(), "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def collect_files(paths: List[str]) -> List[str]:
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            if p.endswith(SOURCE_EXTENSIONS):
+                out.append(os.path.abspath(p))
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = sorted(d for d in dirnames if d not in ("build", ".git"))
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTENSIONS):
+                    out.append(os.path.abspath(os.path.join(dirpath, fn)))
+    return sorted(set(out))
+
+
+def _module_of(abs_path: str, src_root: str) -> Optional[str]:
+    try:
+        rel = os.path.relpath(abs_path, src_root)
+    except ValueError:
+        return None
+    if rel.startswith(".."):
+        return None
+    parts = rel.replace(os.sep, "/").split("/")
+    return parts[0] if len(parts) > 1 else None
+
+
+def _cross_digest(cross: CrossContext, config: dict) -> str:
+    payload = {
+        "engine": ENGINE_VERSION,
+        "config": config,
+        "unordered": sorted(cross.unordered_names),
+        "result_fns": sorted(cross.result_fns),
+        "field_owners": sorted(cross.field_owners.items()),
+        "ambiguous": sorted(cross.ambiguous_fields),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _build_cross(config: dict, harvests: Dict[str, dict]) -> CrossContext:
+    cross = CrossContext(config)
+    result_union: Set[str] = set()
+    other_union: Set[str] = set()
+    for h in harvests.values():
+        cross.unordered_names.update(h.get("unordered_names", []))
+        result_union.update(h.get("result_fns", []))
+        other_union.update(h.get("other_fns", []))
+        for name, owner in h.get("field_owners", {}).items():
+            cross.add_field_owner(name, owner)
+    cross.result_fns = result_union - other_union
+    return cross
+
+
+def _harvest_allows(h: dict, line: int, check: str) -> bool:
+    if check in h.get("allow_file", []):
+        return True
+    return check in h.get("allow", {}).get(str(line), [])
+
+
+class LintRun:
+    """Result bundle: findings plus the stats the CLI and CI report."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.files: List[str] = []  # rel-to-root display paths
+        self.parsed = 0
+        self.harvest_hits = 0
+        self.finding_hits = 0
+
+
+def run_lint(root: str, paths: List[str], config: dict,
+             cache: Optional[LintCache] = None,
+             src_root: Optional[str] = None) -> LintRun:
+    run = LintRun()
+    abs_paths = collect_files(paths)
+    if src_root is None:
+        candidate = os.path.join(root, "src")
+        src_root = candidate if os.path.isdir(candidate) else root
+
+    harvests: Dict[str, dict] = {}   # rel-to-root -> harvest
+    parsed: Dict[str, Tuple[SourceFile, SymbolTable]] = {}
+    shas: Dict[str, str] = {}
+    for ap in abs_paths:
+        rel = os.path.relpath(ap, root).replace(os.sep, "/")
+        run.files.append(rel)
+        with open(ap, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        sha = hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+        shas[rel] = sha
+        h = cache.harvest_for(rel, sha) if cache is not None else None
+        if h is None:
+            sf = SourceFile(ap, text)
+            st = SymbolTable(sf.tokens)
+            parsed[rel] = (sf, st)
+            run.parsed += 1
+            h = harvest(sf, st, _module_of(ap, src_root))
+        harvests[rel] = h
+
+    cross = _build_cross(config, harvests)
+    digest = _cross_digest(cross, config)
+
+    for rel in run.files:
+        ap = os.path.join(root, rel)
+        items = cache.findings_for(rel, shas[rel], digest) if cache is not None else None
+        if items is None:
+            if rel not in parsed:
+                sf = SourceFile(ap)
+                st = SymbolTable(sf.tokens)
+                parsed[rel] = (sf, st)
+                run.parsed += 1
+            sf, st = parsed[rel]
+            found = run_per_file_checks(sf, st, cross,
+                                        _module_of(ap, src_root))
+            items = [[f.line, f.check, f.message] for f in found]
+        if cache is not None:
+            cache.store(rel, shas[rel], harvests[rel], digest, items)
+        for line, check, message in items:
+            run.findings.append(Finding(rel, line, check, message))
+
+    # Graph checks: always from harvests, always over the whole scanned set.
+    layer_map = LayerMap(config.get("layers", []))
+    graph = IncludeGraph(src_root, layer_map)
+    rel_src_to_rel: Dict[str, str] = {}
+    for rel in run.files:
+        ap = os.path.join(root, rel)
+        rel_src = os.path.relpath(ap, src_root).replace(os.sep, "/")
+        if rel_src.startswith(".."):
+            continue
+        rel_src_to_rel[rel_src] = rel
+        graph.add_file(rel_src, [(p, line) for p, line in harvests[rel]["includes"]])
+    for rel_src, line, check, message in graph.check():
+        rel = rel_src_to_rel.get(rel_src, rel_src)
+        if _harvest_allows(harvests.get(rel, {}), line, check):
+            continue
+        run.findings.append(Finding(rel, line, check, message))
+
+    if cache is not None:
+        run.harvest_hits = cache.harvest_hits
+        run.finding_hits = cache.finding_hits
+        cache.prune(set(run.files))
+        cache.save()
+    run.findings.sort(key=lambda f: (f.path, f.line, f.check))
+    return run
+
+
+# ------------------------------------------------------------- fixture mode
+
+
+def run_fixture_mode(fixture_dir: str, root: str, config: dict) -> int:
+    abs_paths = collect_files([fixture_dir])
+    if not abs_paths:
+        print(f"ape-lint: no fixture files under {fixture_dir}", file=sys.stderr)
+        return 2
+
+    parsed: List[Tuple[str, SourceFile, SymbolTable]] = []
+    harvests: Dict[str, dict] = {}
+    for ap in abs_paths:
+        sf = SourceFile(ap)
+        st = SymbolTable(sf.tokens)
+        parsed.append((ap, sf, st))
+        harvests[ap] = harvest(sf, st, None)
+    cross = _build_cross(config, harvests)
+
+    # Graph findings come from any subtree that commits its own layer map —
+    # the include-graph fixture ships one so layer violations and cycles can
+    # be expressed without touching the real src/ map.
+    graph_findings: Dict[str, List[Tuple[int, str]]] = {}
+    for dirpath, dirnames, filenames in os.walk(fixture_dir):
+        dirnames[:] = sorted(dirnames)
+        if "layer_map.json" not in filenames:
+            continue
+        with open(os.path.join(dirpath, "layer_map.json"), "r", encoding="utf-8") as f:
+            sub_layers = json.load(f).get("layers", [])
+        sub = IncludeGraph(dirpath, LayerMap(sub_layers))
+        members = {}
+        for ap, sf, _st in parsed:
+            rel_sub = os.path.relpath(ap, dirpath).replace(os.sep, "/")
+            if rel_sub.startswith(".."):
+                continue
+            members[rel_sub] = (ap, sf)
+            from .graph import quoted_includes
+            sub.add_file(rel_sub, quoted_includes(sf))
+        for rel_sub, line, check, _message in sub.check():
+            ap, sf = members[rel_sub]
+            if sf.allowed(line, check):
+                continue
+            graph_findings.setdefault(ap, []).append((line, check))
+
+    failures = 0
+    expectation_lines = 0
+    for ap, sf, st in parsed:
+        expected = sf.expectations()
+        expectation_lines += len(expected)
+        found = run_per_file_checks(sf, st, cross, None)
+        actual = {(f.line, f.check) for f in found}
+        actual.update(graph_findings.get(ap, []))
+        for line, check in sorted(expected - actual):
+            print(f"FIXTURE FAIL {os.path.relpath(ap, root)}:{line}: "
+                  f"expected [{check}] did not fire")
+            failures += 1
+        for line, check in sorted(actual - expected):
+            print(f"FIXTURE FAIL {os.path.relpath(ap, root)}:{line}: "
+                  f"unexpected [{check}] fired")
+            failures += 1
+    if failures:
+        print(f"ape-lint fixtures: {failures} mismatch(es)")
+        return 1
+    print(f"ape-lint fixtures: OK ({len(parsed)} files, "
+          f"{expectation_lines} expectation lines)")
+    return 0

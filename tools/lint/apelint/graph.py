@@ -1,0 +1,171 @@
+"""Repo-wide include graph: layer enforcement and cycle detection.
+
+The committed layer map (lint_config.json, "layers") is an ordered list of
+layer groups, lowest first.  A file in module M (its first path component
+under the source root) may include:
+
+  * its own module, and
+  * any module in a strictly lower layer.
+
+Includes within the same layer group but across modules are illegal — the
+groups exist to say "these are peers, not dependencies".  Modules missing
+from the map are unconstrained (tools, fixtures), but still participate in
+cycle detection.
+
+Cycles are reported over the *file*-level graph: `#pragma once` makes a
+cyclic include compile-cleanly into silent truncation, which is exactly why
+the linter, not the compiler, owns this invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .source import SourceFile
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"\n]+)"')
+
+
+def quoted_includes(sf: SourceFile) -> List[Tuple[str, int]]:
+    """(path, line) for every `#include "..."` in the file.
+
+    Reads the raw text, not the token stream: the tokenizer blanks string
+    bodies (so checks never trip over string *contents*), which would erase
+    the include path itself."""
+    out: List[Tuple[str, int]] = []
+    for lineno, line in enumerate(sf.text.splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            out.append((m.group(1), lineno))
+    return out
+
+
+class LayerMap:
+    def __init__(self, layers: Sequence[Sequence[str]]):
+        self.layers = [list(group) for group in layers]
+        self.rank: Dict[str, int] = {}
+        for rank, group in enumerate(self.layers):
+            for module in group:
+                self.rank[module] = rank
+
+    def allowed(self, from_module: str, to_module: str) -> bool:
+        if from_module == to_module:
+            return True
+        fr = self.rank.get(from_module)
+        to = self.rank.get(to_module)
+        if fr is None or to is None:
+            return True  # unmapped modules are unconstrained
+        return to < fr
+
+
+class IncludeGraph:
+    """Built from harvested per-file include lists — cheap enough to rebuild
+    on every run, cached or not."""
+
+    def __init__(self, root: str, layer_map: Optional[LayerMap]):
+        self.root = root  # the source root module paths are relative to
+        self.layer_map = layer_map
+        # rel path -> [(include rel path or None if external, raw, line)]
+        self.edges: Dict[str, List[Tuple[Optional[str], str, int]]] = {}
+
+    @staticmethod
+    def module_of(rel: str) -> Optional[str]:
+        parts = rel.replace(os.sep, "/").split("/")
+        return parts[0] if len(parts) > 1 else None
+
+    def add_file(self, rel: str, includes: List[Tuple[str, int]]) -> None:
+        rel = rel.replace(os.sep, "/")
+        resolved: List[Tuple[Optional[str], str, int]] = []
+        for inc, line in includes:
+            inc_norm = inc.replace(os.sep, "/")
+            target = inc_norm if os.path.isfile(os.path.join(self.root, inc_norm)) else None
+            resolved.append((target, inc_norm, line))
+        self.edges[rel] = resolved
+
+    def check(self) -> List[Tuple[str, int, str, str]]:
+        """Returns (rel_path, line, check, message) tuples: layer violations
+        first, then include cycles, all deterministically ordered."""
+        out: List[Tuple[str, int, str, str]] = []
+        if self.layer_map is not None:
+            for rel in sorted(self.edges):
+                mod = self.module_of(rel)
+                if mod is None:
+                    continue
+                for target, raw, line in self.edges[rel]:
+                    if target is None:
+                        continue
+                    to_mod = self.module_of(target)
+                    if to_mod is None or to_mod == mod:
+                        continue
+                    if not self.layer_map.allowed(mod, to_mod):
+                        fr_rank = self.layer_map.rank.get(mod)
+                        to_rank = self.layer_map.rank.get(to_mod)
+                        relation = "same-layer peer" if fr_rank == to_rank else "higher layer"
+                        out.append((rel, line, "layer-graph",
+                                    f"`{mod}` must not include `{to_mod}` "
+                                    f"({relation}; committed layer map says "
+                                    f"`{to_mod}` is not below `{mod}`) — "
+                                    f"#include \"{raw}\" breaks the layering "
+                                    "parallel shards depend on"))
+        out.extend(self._cycles())
+        return out
+
+    def _cycles(self) -> List[Tuple[str, int, str, str]]:
+        # Iterative DFS with an explicit path; reports each cycle once,
+        # anchored at its lexicographically smallest member.
+        graph: Dict[str, List[str]] = {
+            rel: sorted({t for t, _, _ in edges if t is not None and t in self.edges})
+            for rel, edges in self.edges.items()
+        }
+        seen_cycles = set()
+        findings: List[Tuple[str, int, str, str]] = []
+        color: Dict[str, int] = {}  # 0 unvisited / 1 on stack / 2 done
+
+        def line_of_edge(fr: str, to: str) -> int:
+            for target, _, line in self.edges.get(fr, []):
+                if target == to:
+                    return line
+            return 1
+
+        for start in sorted(graph):
+            if color.get(start):
+                continue
+            stack: List[Tuple[str, int]] = [(start, 0)]
+            path: List[str] = []
+            color[start] = 1
+            path.append(start)
+            while stack:
+                node, idx = stack[-1]
+                succs = graph.get(node, [])
+                if idx < len(succs):
+                    stack[-1] = (node, idx + 1)
+                    nxt = succs[idx]
+                    c = color.get(nxt, 0)
+                    if c == 0:
+                        color[nxt] = 1
+                        path.append(nxt)
+                        stack.append((nxt, 0))
+                    elif c == 1:
+                        cycle = path[path.index(nxt):] + [nxt]
+                        anchor = min(cycle[:-1])
+                        k = cycle.index(anchor)
+                        canon = tuple(cycle[k:-1] + cycle[:k])
+                        if canon not in seen_cycles:
+                            seen_cycles.add(canon)
+                            chain = " -> ".join(list(canon) + [anchor])
+                            nxt_in_cycle = canon[1] if len(canon) > 1 else anchor
+                            findings.append((anchor, line_of_edge(anchor, nxt_in_cycle),
+                                             "layer-graph",
+                                             f"include cycle: {chain} — #pragma once "
+                                             "turns this into silent truncation; break "
+                                             "the cycle with a forward declaration or "
+                                             "an interface header"))
+                else:
+                    color[node] = 2
+                    stack.pop()
+                    path.pop()
+        findings.sort()
+        return findings

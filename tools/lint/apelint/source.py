@@ -1,0 +1,90 @@
+"""SourceFile: one parsed translation unit plus its lint annotations.
+
+Annotation grammar (unchanged from the regex engine, so every existing
+`// ape-lint: allow(...)` in the tree keeps working):
+
+    // ape-lint: allow(check-a, check-b)     suppress on this line
+                                             (or the next line, when the
+                                             annotation line has no code)
+    // ape-lint: allow-file(check)           suppress for the whole file
+    // ape-lint: hot-path                    opt this file into hot-alloc
+    // expect-lint: check-a, check-b         fixture expectation marker
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, List, Set, Tuple
+
+from .tokens import Comment, Token, tokenize
+
+ALLOW_RE = re.compile(r"ape-lint:\s*allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"ape-lint:\s*allow-file\(([^)]*)\)")
+HOT_PATH_RE = re.compile(r"ape-lint:\s*hot-path\b")
+EXPECT_RE = re.compile(r"expect-lint:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+class SourceFile:
+    def __init__(self, path: str, text: str | None = None):
+        self.path = path
+        if text is None:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        self.text = text
+        self.sha = hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+        self.tokens: List[Token]
+        self.comments: List[Comment]
+        self.tokens, self.comments = tokenize(text)
+        # Lines holding at least one code token: an annotation comment on a
+        # code-free line covers the next line as well.
+        self.code_lines: Set[int] = {t.line for t in self.tokens}
+        self.allow: Dict[int, Set[str]] = {}
+        self.allow_file: Set[str] = set()
+        self.hot_path = False
+        self._collect_annotations()
+
+    def _collect_annotations(self) -> None:
+        for c in self.comments:
+            if HOT_PATH_RE.search(c.text):
+                self.hot_path = True
+            m = ALLOW_FILE_RE.search(c.text)
+            if m:
+                self.allow_file.update(p.strip() for p in m.group(1).split(","))
+            m = ALLOW_RE.search(c.text)
+            if not m:
+                continue
+            checks = {p.strip() for p in m.group(1).split(",")}
+            self.allow.setdefault(c.line, set()).update(checks)
+            if c.line not in self.code_lines:
+                self.allow.setdefault(c.line + 1, set()).update(checks)
+
+    def allowed(self, line: int, check: str) -> bool:
+        if check in self.allow_file:
+            return True
+        return check in self.allow.get(line, set())
+
+    def expectations(self) -> Set[Tuple[int, str]]:
+        """Fixture `expect-lint:` markers as (line, check) pairs."""
+        out: Set[Tuple[int, str]] = set()
+        for c in self.comments:
+            # A block comment can span lines; expectations are written as
+            # line comments in fixtures, so the start line is the marker line.
+            m = EXPECT_RE.search(c.text)
+            if m:
+                for check in (p.strip() for p in m.group(1).split(",")):
+                    out.add((c.line, check))
+        return out
+
+
+class Finding:
+    __slots__ = ("path", "line", "check", "message")
+
+    def __init__(self, path: str, line: int, check: str, message: str):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.check)

@@ -1,0 +1,614 @@
+"""Brace-matched scope tracker and per-file symbol table.
+
+One linear pass classifies every `{ ... }` region into a Scope (namespace,
+class, enum, function, lambda, block, or brace-init) by examining the
+statement head to its left; because the pass is linear, a `}` encountered
+while scanning backwards is always a scope we already closed, so the scan
+knows whether to stop (statement boundary) or collapse it (a tiny
+brace-init group inside a constructor initializer list).
+
+On top of the scope tree the table records, per scope:
+
+  * class member fields (name, type identifiers, shard annotations,
+    unordered-container-ness),
+  * function parameters (name, type identifiers, ref/pointer-ness),
+  * local declarations, with `auto`/reference aliases kept as one-level
+    chains (`auto& m = url_index_;` records m -> url_index_), which is what
+    kills the alias false-negatives the regex engine was blind to,
+  * lambdas (capture-list range, body range),
+  * names of functions declared to return Result<T>.
+
+Resolution is deliberately one level deep (DESIGN.md §5i): an alias of an
+alias does not resolve, matching the closed-world contract that hot-path
+code keeps aliasing shallow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .tokens import Token, match_forward, skip_angles
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "do", "else", "try"}
+FN_QUALIFIERS = {"const", "noexcept", "override", "final", "mutable", "constexpr", "try"}
+ACCESS_SPECIFIERS = {"public", "private", "protected"}
+TYPE_INTRO_SKIP = {
+    "using", "typedef", "friend", "static_assert", "template", "operator",
+    "enum", "class", "struct", "union", "concept", "requires", "extern",
+}
+SHARD_MACROS = ("APE_SHARD_CONTEXT", "APE_SHARD_LOCAL", "APE_SHARD_SHARED")
+
+
+class Decl:
+    """A named declaration: field, parameter, or local."""
+
+    __slots__ = ("name", "type_ids", "is_ref", "is_ptr", "alias_chain", "line",
+                 "is_static", "shard_owner", "is_unordered")
+
+    def __init__(self, name: str, type_ids: Tuple[str, ...], line: int, *,
+                 is_ref: bool = False, is_ptr: bool = False,
+                 alias_chain: Optional[Tuple[str, ...]] = None,
+                 is_static: bool = False, shard_owner: Optional[str] = None):
+        self.name = name
+        self.type_ids = type_ids
+        self.is_ref = is_ref
+        self.is_ptr = is_ptr
+        self.alias_chain = alias_chain  # one-level alias target, outermost last
+        self.line = line
+        self.is_static = is_static
+        # None = unannotated; "" = APE_SHARD_SHARED; else the owner string.
+        self.shard_owner = shard_owner
+        self.is_unordered = any(t.startswith("unordered_") for t in type_ids)
+
+    def has_type(self, name: str) -> bool:
+        return name in self.type_ids
+
+
+class Scope:
+    __slots__ = ("kind", "name", "open", "close", "parent", "children",
+                 "decls", "shard_context", "shard_context_line", "line",
+                 "capture_range", "param_range")
+
+    def __init__(self, kind: str, name: str, open_idx: int, parent: "Scope | None",
+                 line: int):
+        self.kind = kind  # namespace|class|enum|function|lambda|block|init|file
+        self.name = name
+        self.open = open_idx
+        self.close = -1
+        self.parent = parent
+        self.children: List[Scope] = []
+        self.decls: Dict[str, Decl] = {}
+        self.shard_context: Optional[str] = None  # class scopes only
+        self.shard_context_line = 0
+        self.line = line
+        self.capture_range: Optional[Tuple[int, int]] = None  # lambdas: [ .. ]
+        self.param_range: Optional[Tuple[int, int]] = None    # fns/lambdas: ( .. )
+
+    def enclosing(self, *kinds: str) -> "Scope | None":
+        s: Scope | None = self
+        while s is not None:
+            if s.kind in kinds:
+                return s
+            s = s.parent
+        return None
+
+
+class SymbolTable:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.file_scope = Scope("file", "", -1, None, 1)
+        self.file_scope.close = len(tokens)
+        self.scopes: List[Scope] = [self.file_scope]
+        self.close_of: Dict[int, Scope] = {}  # close-brace index -> scope
+        self.result_functions: List[Tuple[str, int]] = []
+        self._build()
+        for scope in self.scopes:
+            if scope.kind == "class":
+                self._parse_class_body(scope)
+            elif scope.kind in ("function", "lambda", "block"):
+                self._parse_locals(scope)
+            if scope.kind in ("function", "lambda") and scope.param_range:
+                self._parse_params(scope)
+        self._harvest_result_functions()
+
+    # ------------------------------------------------------------- structure
+
+    def _build(self) -> None:
+        tokens = self.tokens
+        stack = [self.file_scope]
+        for i, t in enumerate(tokens):
+            if t.kind != "punct" or t.pp:
+                continue
+            if t.value == "{":
+                scope = self._classify_open(i, stack[-1])
+                stack[-1].children.append(scope)
+                self.scopes.append(scope)
+                stack.append(scope)
+            elif t.value == "}":
+                if len(stack) > 1:
+                    scope = stack.pop()
+                    scope.close = i
+                    self.close_of[i] = scope
+        while len(stack) > 1:  # unbalanced file: close what's left
+            scope = stack.pop()
+            scope.close = len(tokens)
+
+    def _head(self, i: int) -> List[Tuple[str, int]]:
+        """Statement head left of the `{` at index i, nearest token first.
+
+        Balanced groups collapse to markers: ("()", open_idx), ("[]", idx),
+        ("{}", idx).  A `}` closing anything but a small brace-init group is
+        a statement boundary and stops the scan.
+        """
+        tokens = self.tokens
+        out: List[Tuple[str, int]] = []
+        j = i - 1
+        while j >= 0 and len(out) < 96:
+            t = tokens[j]
+            if t.kind == "punct":
+                if t.value in (";", "{"):
+                    break
+                if t.value == "}":
+                    scope = self.close_of.get(j)
+                    if scope is not None and scope.kind == "init" and j - scope.open <= 64:
+                        out.append(("{}", scope.open))
+                        j = scope.open - 1
+                        continue
+                    break
+                if t.value == ")":
+                    open_idx = self._match_back(j, "(", ")")
+                    out.append(("()", open_idx))
+                    j = open_idx - 1
+                    continue
+                if t.value == "]":
+                    open_idx = self._match_back(j, "[", "]")
+                    out.append(("[]", open_idx))
+                    j = open_idx - 1
+                    continue
+            out.append((t.value, j))
+            j -= 1
+        return out
+
+    def _match_back(self, close_idx: int, open_v: str, close_v: str) -> int:
+        depth = 0
+        j = close_idx
+        while j >= 0:
+            t = self.tokens[j]
+            if t.kind == "punct":
+                if t.value == close_v:
+                    depth += 1
+                elif t.value == open_v:
+                    depth -= 1
+                    if depth == 0:
+                        return j
+            j -= 1
+        return 0
+
+    def _classify_open(self, i: int, parent: Scope) -> Scope:
+        tokens = self.tokens
+        line = tokens[i].line
+        head = self._head(i)
+        values = [v for v, _ in head]
+
+        if "namespace" in values:
+            k = values.index("namespace")
+            name = values[k - 1] if k > 0 and values[k - 1].isidentifier() else ""
+            return Scope("namespace", name, i, parent, line)
+        if "enum" in values:
+            for v, _ in head:
+                if v.isidentifier() and v not in ("enum", "class", "struct"):
+                    return Scope("enum", v, i, parent, line)
+            return Scope("enum", "", i, parent, line)
+        if ("class" in values or "struct" in values or "union" in values) \
+                and "=" not in values:
+            kw = next(v for v in ("class", "struct", "union") if v in values)
+            k = values.index(kw)
+            # name = first identifier to the right of the keyword (nearer the
+            # `{`), skipping attributes; base clauses sit further right.
+            name = ""
+            for v, _ in reversed(head[:k]):
+                if v.isidentifier() and v not in ("final", "alignas"):
+                    name = v
+                    break
+            return Scope("class", name, i, parent, line)
+
+        # Lambda: [captures] (params)? quals? -> type? {
+        k = 0
+        param_marker = None
+        while k < len(head):
+            v, idx = head[k]
+            if v in FN_QUALIFIERS or v == "->" or v == "&" or v == "&&" \
+                    or v == "*" or v == "::" or v == "<" or v == ">" \
+                    or (v.isidentifier() and v not in CONTROL_KEYWORDS
+                        and head[min(k + 1, len(head) - 1)][0] in ("->", "::")):
+                k += 1
+                continue
+            if v == "()" and param_marker is None:
+                param_marker = idx
+                k += 1
+                continue
+            break
+        if k < len(head) and head[k][0] == "[]":
+            open_idx = head[k][1]
+            inner = tokens[open_idx + 1:self._bracket_close(open_idx)]
+            if self._looks_like_capture_list(inner):
+                scope = Scope("lambda", "", i, parent, line)
+                scope.capture_range = (open_idx, self._bracket_close(open_idx))
+                if param_marker is not None:
+                    scope.param_range = (param_marker,
+                                         match_forward(tokens, param_marker, "(", ")"))
+                return scope
+
+        # Function: name (params) quals? [: init-list] {
+        fn = self._match_function_head(head)
+        if fn is not None:
+            name, param_open = fn
+            scope = Scope("function", name, i, parent, line)
+            scope.param_range = (param_open, match_forward(tokens, param_open, "(", ")"))
+            return scope
+
+        if values and values[0] in ("do", "else", "try"):
+            return Scope("block", "", i, parent, line)
+        prev = values[0] if values else ""
+        if prev in ("()",) and len(values) > 1 and values[1] in CONTROL_KEYWORDS:
+            return Scope("block", "", i, parent, line)
+        if prev in ("=", ",", "return", "(", "[", "()", "{}") or prev == "":
+            kind = "block" if prev == "" else "init"
+            return Scope(kind, "", i, parent, line)
+        if parent.kind in ("function", "lambda", "block") and prev in CONTROL_KEYWORDS:
+            return Scope("block", "", i, parent, line)
+        # `Type name{...}` member/variable brace-init, `x[i]{...}`, ...
+        return Scope("init", "", i, parent, line)
+
+    def _bracket_close(self, open_idx: int) -> int:
+        return match_forward(self.tokens, open_idx, "[", "]")
+
+    @staticmethod
+    def _looks_like_capture_list(inner: List[Token]) -> bool:
+        if not inner:
+            return True  # []
+        if all(t.kind == "num" for t in inner):
+            return False  # array bound / index
+        return any(t.kind == "id" or (t.kind == "punct" and t.value in ("&", "=", "*"))
+                   for t in inner)
+
+    def _match_function_head(self, head: List[Tuple[str, int]]) -> Optional[Tuple[str, int]]:
+        k = 0
+        while k < len(head) and (head[k][0] in FN_QUALIFIERS or head[k][0] == "&"
+                                 or head[k][0] == "&&" or head[k][0] == "->"):
+            k += 1
+        # Skip a trailing-return type chain after ->: ids/:: already consumed
+        # above one at a time via the loop over quals? Keep simple: also skip
+        # plain identifiers that are followed (leftwards) by "->".
+        while k + 1 < len(head) and head[k][0].isidentifier() and head[k + 1][0] == "->":
+            k += 2
+        # Constructor initializer list: id () pairs separated by , up to :
+        saw_init_list = False
+        while k + 1 < len(head) and head[k][0] in ("()", "{}") \
+                and head[k + 1][0].isidentifier() \
+                and k + 2 < len(head) and head[k + 2][0] in (",", ":"):
+            saw_init_list = True
+            k += 2
+            if head[k][0] == ":":
+                k += 1
+                break
+            k += 1  # the comma
+        if saw_init_list is False and k < len(head) and head[k][0] == ":":
+            k += 1  # lone `: base` — not expected for functions, tolerated
+        if k + 1 < len(head) and head[k][0] == "()" and head[k + 1][0].isidentifier() \
+                and head[k + 1][0] not in CONTROL_KEYWORDS \
+                and head[k + 1][0] not in ("class", "struct", "union", "enum"):
+            return head[k + 1][0], head[k][1]
+        return None
+
+    # ------------------------------------------------------------ statements
+
+    def _direct_statements(self, scope: Scope) -> List[List[int]]:
+        """Token indices of statements at the scope's direct nesting level.
+
+        Child scopes collapse: brace-init children become part of their
+        statement (as the sentinel of their `{`), any other child ends the
+        statement (a member function body, a nested class, ...).
+        """
+        tokens = self.tokens
+        statements: List[List[int]] = []
+        current: List[int] = []
+        children = {c.open: c for c in scope.children}
+        i = scope.open + 1
+        end = scope.close if scope.close >= 0 else len(tokens)
+        while i < end:
+            child = children.get(i)
+            if child is not None:
+                stop = child.close if child.close >= 0 else end
+                if child.kind == "init":
+                    current.append(i)  # sentinel: the `{` of the init group
+                    i = stop + 1
+                    continue
+                if current:
+                    statements.append(current)
+                    current = []
+                i = stop + 1
+                continue
+            t = tokens[i]
+            if t.pp:
+                i += 1
+                continue
+            if t.kind == "punct" and t.value == ";":
+                if current:
+                    statements.append(current)
+                    current = []
+                i += 1
+                continue
+            if scope.kind == "class" and t.kind == "id" and t.value in ACCESS_SPECIFIERS \
+                    and i + 1 < end and tokens[i + 1].kind == "punct" \
+                    and tokens[i + 1].value == ":":
+                if current:
+                    statements.append(current)
+                    current = []
+                i += 2
+                continue
+            current.append(i)
+            i += 1
+        if current:
+            statements.append(current)
+        return statements
+
+    def _top_level_eq(self, stmt: List[int]) -> Optional[int]:
+        """Position (within stmt) of a top-level `=`, angle/paren aware."""
+        depth = 0
+        k = 0
+        while k < len(stmt):
+            t = self.tokens[stmt[k]]
+            if t.kind == "punct":
+                if t.value in ("(", "["):
+                    depth += 1
+                elif t.value in (")", "]"):
+                    depth -= 1
+                elif t.value == "<" and depth == 0:
+                    # try to skip a template argument list
+                    nxt = skip_angles(self.tokens, stmt[k])
+                    while k < len(stmt) and stmt[k] < nxt:
+                        k += 1
+                    continue
+                elif t.value == "=" and depth == 0:
+                    return k
+            k += 1
+        return None
+
+    # ---------------------------------------------------------- class fields
+
+    def _parse_class_body(self, scope: Scope) -> None:
+        tokens = self.tokens
+        for stmt in self._direct_statements(scope):
+            values = [tokens[i].value for i in stmt]
+            if not values:
+                continue
+            # Shard annotations prefix the statement (or form it entirely).
+            shard_owner: Optional[str] = None
+            k = 0
+            if values[0] == "APE_SHARD_CONTEXT" and len(values) >= 4 and values[1] == "(":
+                scope.shard_context = values[2]
+                scope.shard_context_line = tokens[stmt[0]].line
+                continue
+            if values[0] == "APE_SHARD_LOCAL" and len(values) >= 4 and values[1] == "(":
+                shard_owner = values[2]
+                k = 4  # past APE_SHARD_LOCAL ( owner )
+            elif values[0] == "APE_SHARD_SHARED":
+                shard_owner = ""
+                k = 1
+            body = stmt[k:]
+            if not body:
+                continue
+            first = tokens[body[0]].value
+            if first in TYPE_INTRO_SKIP or first in ACCESS_SPECIFIERS:
+                continue
+            decl = self._parse_declarator(body, allow_static=True)
+            if decl is not None:
+                decl.shard_owner = shard_owner
+                scope.decls[decl.name] = decl
+
+    def _parse_declarator(self, body: List[int], *, allow_static: bool) -> Optional[Decl]:
+        """Parse `type name [= init | {init} | [N]]` out of one statement."""
+        tokens = self.tokens
+        values = [tokens[i].value for i in body]
+        is_static = "static" in values or "constexpr" in values
+        eq = self._top_level_eq(body)
+        name_pos: Optional[int] = None
+        if eq is not None and eq > 0:
+            if tokens[body[eq - 1]].kind == "id":
+                name_pos = eq - 1
+        else:
+            last = len(body) - 1
+            t = tokens[body[last]]
+            if t.kind == "punct" and t.value == "{":  # collapsed init sentinel
+                last -= 1
+                t = tokens[body[last]] if last >= 0 else t
+            if last >= 1 and t.kind == "punct" and t.value == "]":
+                open_idx = self._match_back(body[last], "[", "]")
+                while last >= 0 and body[last] >= open_idx:
+                    last -= 1
+                t = tokens[body[last]] if last >= 0 else t
+            if last >= 1 and t.kind == "id":
+                name_pos = last
+        if name_pos is None or name_pos == 0:
+            return None
+        prev = tokens[body[name_pos - 1]]
+        if prev.kind == "punct" and prev.value in ("::", ".", "->"):
+            return None  # qualified name: not a declaration
+        name = tokens[body[name_pos]].value
+        if name in FN_QUALIFIERS or name in CONTROL_KEYWORDS:
+            return None
+        type_part = body[:name_pos]
+        type_ids = tuple(tokens[i].value for i in type_part if tokens[i].kind == "id")
+        if not type_ids:
+            return None
+        type_puncts = [tokens[i].value for i in type_part if tokens[i].kind == "punct"]
+        is_ref = "&" in type_puncts or "&&" in type_puncts
+        is_ptr = "*" in type_puncts
+        alias_chain = None
+        if "auto" in type_ids and eq is not None:
+            alias_chain = self._alias_chain(body[eq + 1:])
+        return Decl(name, type_ids, tokens[body[name_pos]].line,
+                    is_ref=is_ref, is_ptr=is_ptr, alias_chain=alias_chain,
+                    is_static=is_static and allow_static)
+
+    def _alias_chain(self, init: List[int]) -> Optional[Tuple[str, ...]]:
+        """`expr` -> the id chain it names (ids joined by . -> ::), or None
+        when the initializer is a call or anything non-trivial."""
+        tokens = self.tokens
+        chain: List[str] = []
+        k = 0
+        while k < len(init) and tokens[init[k]].kind == "punct" \
+                and tokens[init[k]].value in ("*", "&", "("):
+            k += 1
+        expect_id = True
+        while k < len(init):
+            t = tokens[init[k]]
+            if expect_id and t.kind == "id":
+                chain.append(t.value)
+                expect_id = False
+            elif not expect_id and t.kind == "punct" and t.value in (".", "->", "::"):
+                expect_id = True
+            elif not expect_id and t.kind == "punct" and t.value == ")":
+                k += 1
+                continue
+            else:
+                if t.kind == "punct" and t.value == "(":
+                    return None  # a call — not a plain alias
+                break
+            k += 1
+        return tuple(chain) if chain else None
+
+    # ------------------------------------------------------------ parameters
+
+    def _parse_params(self, scope: Scope) -> None:
+        tokens = self.tokens
+        start, stop = scope.param_range  # type: ignore[misc]
+        seg: List[int] = []
+        segments: List[List[int]] = []
+        depth = 0
+        k = start + 1
+        while k < stop:
+            t = tokens[k]
+            if t.kind == "punct":
+                if t.value in ("(", "[", "{"):
+                    depth += 1
+                elif t.value in (")", "]", "}"):
+                    depth -= 1
+                elif t.value == "<" and depth == 0:
+                    nxt = skip_angles(tokens, k)
+                    seg.extend(range(k, min(nxt, stop)))
+                    k = nxt
+                    continue
+                elif t.value == "," and depth == 0:
+                    segments.append(seg)
+                    seg = []
+                    k += 1
+                    continue
+            seg.append(k)
+            k += 1
+        if seg:
+            segments.append(seg)
+        for seg in segments:
+            ids = [i for i in seg if tokens[i].kind == "id"]
+            if len(ids) < 2 and not (len(ids) == 1 and any(
+                    tokens[i].kind == "punct" and tokens[i].value in (">", "&", "*")
+                    for i in seg[:-1])):
+                continue  # unnamed (type-only) parameter
+            eq = self._top_level_eq(seg)
+            name_idx = None
+            if eq is not None and eq > 0 and tokens[seg[eq - 1]].kind == "id":
+                name_idx = seg[eq - 1]
+            elif tokens[seg[-1]].kind == "id":
+                name_idx = seg[-1]
+            if name_idx is None:
+                continue
+            prev_idx = seg[seg.index(name_idx) - 1] if seg.index(name_idx) > 0 else None
+            if prev_idx is not None and tokens[prev_idx].kind == "punct" \
+                    and tokens[prev_idx].value == "::":
+                continue  # qualified type, unnamed param
+            name = tokens[name_idx].value
+            type_part = seg[:seg.index(name_idx)]
+            type_ids = tuple(tokens[i].value for i in type_part if tokens[i].kind == "id")
+            puncts = [tokens[i].value for i in type_part if tokens[i].kind == "punct"]
+            scope.decls[name] = Decl(name, type_ids, tokens[name_idx].line,
+                                     is_ref="&" in puncts or "&&" in puncts,
+                                     is_ptr="*" in puncts)
+
+    # ----------------------------------------------------------------- locals
+
+    def _parse_locals(self, scope: Scope) -> None:
+        tokens = self.tokens
+        for stmt in self._direct_statements(scope):
+            if not stmt:
+                continue
+            first = tokens[stmt[0]]
+            if first.kind != "id" or first.value in CONTROL_KEYWORDS \
+                    or first.value in TYPE_INTRO_SKIP:
+                continue
+            # Fast reject: a declaration needs 2+ leading ids before any
+            # operator, or starts with auto/const.
+            decl = self._parse_declarator(stmt, allow_static=False)
+            if decl is None:
+                continue
+            # Guard against `x = y;` assignments parsing as decls: require a
+            # type (>= 1 id before the name) that is not itself a known local.
+            if decl.type_ids and decl.type_ids[0] not in scope.decls:
+                scope.decls.setdefault(decl.name, decl)
+
+    # ------------------------------------------------------------- harvesting
+
+    def _harvest_result_functions(self) -> None:
+        tokens = self.tokens
+        n = len(tokens)
+        i = 0
+        while i < n:
+            t = tokens[i]
+            if t.kind == "id" and t.value == "Result" and i + 1 < n \
+                    and tokens[i + 1].kind == "punct" and tokens[i + 1].value == "<":
+                j = skip_angles(tokens, i + 1)
+                # optional qualified name, then NAME (
+                name = None
+                k = j
+                while k + 1 < n and tokens[k].kind == "id":
+                    if tokens[k + 1].kind == "punct" and tokens[k + 1].value == "(":
+                        name = tokens[k].value
+                        break
+                    if tokens[k + 1].kind == "punct" and tokens[k + 1].value == "::":
+                        k += 2
+                        continue
+                    break
+                if name and name != "operator":
+                    self.result_functions.append((name, tokens[k].line))
+                i = j
+                continue
+            i += 1
+
+    # ------------------------------------------------------------- resolution
+
+    def scope_at(self, token_idx: int) -> Scope:
+        best = self.file_scope
+        for scope in self.scopes:
+            if scope.open < token_idx < (scope.close if scope.close >= 0 else 1 << 60):
+                if scope.open > best.open:
+                    best = scope
+        return best
+
+    def resolve(self, name: str, scope: Scope) -> Optional[Decl]:
+        s: Scope | None = scope
+        while s is not None:
+            d = s.decls.get(name)
+            if d is not None:
+                return d
+            s = s.parent
+        return None
+
+    def resolve_through_alias(self, name: str, scope: Scope) -> Optional[Decl]:
+        """Resolve `name`; if it is a one-level alias of a plain identifier,
+        resolve the target instead (one level only)."""
+        d = self.resolve(name, scope)
+        if d is not None and d.alias_chain:
+            target = self.resolve(d.alias_chain[-1], scope)
+            if target is not None:
+                return target
+        return d

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Assert the ape-lint check registry and the docs cannot drift.
+
+Drives `ape_lint.py --list-checks` as a subprocess (so the ctest entry
+exercises the real CLI path, not just the Python registry) and verifies:
+
+  1. the output lists exactly the checks in apelint.checks.CHECKS, and
+  2. every check name appears in DESIGN.md §5i and in README.md,
+
+so adding a check without documenting it — or documenting a check that was
+renamed away — fails `ctest -R lint_list_checks`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+sys.path.insert(0, HERE)
+
+from apelint.checks import CHECKS  # noqa: E402
+
+
+def main() -> int:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(HERE, "ape_lint.py"), "--list-checks"],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"check_list_sync: --list-checks exited {proc.returncode}:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return 1
+
+    listed = {}
+    for line in proc.stdout.splitlines():
+        m = re.match(r"^(\S+)\s+(.*)$", line)
+        if m:
+            listed[m.group(1)] = m.group(2)
+
+    failures = []
+    if set(listed) != set(CHECKS):
+        failures.append(
+            f"--list-checks output {sorted(listed)} != registry {sorted(CHECKS)}")
+    for name, desc in CHECKS.items():
+        if listed.get(name) != desc:
+            failures.append(f"description drift for `{name}`: "
+                            f"listed {listed.get(name)!r} != registry {desc!r}")
+
+    for doc in ("DESIGN.md", "README.md"):
+        path = os.path.join(REPO, doc)
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        for name in CHECKS:
+            if name not in text:
+                failures.append(f"check `{name}` is not documented in {doc}")
+
+    if failures:
+        for f in failures:
+            print(f"check_list_sync: {f}", file=sys.stderr)
+        return 1
+    print(f"check_list_sync: OK ({len(CHECKS)} checks listed and documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

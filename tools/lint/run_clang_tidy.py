@@ -1,11 +1,23 @@
 #!/usr/bin/env python3
-"""Minimal parallel clang-tidy driver (no run-clang-tidy dependency).
+"""Minimal parallel clang-tidy driver with a committed suppression baseline.
 
 Reads compile_commands.json from the build directory, filters to the
 requested source roots, and runs clang-tidy over each translation unit with
-the repo's .clang-tidy config.  Exits non-zero if any invocation reports a
-warning or error, so the CMake `lint` target and the CI lane fail on any
-new violation.
+the repo's .clang-tidy config.  Diagnostics are compared against the
+committed baseline (tools/lint/clang_tidy_baseline.json): only *new*
+findings — ones whose (file, check, message) key is not baselined — fail
+the run, so the gate ratchets without requiring a flag-day cleanup of
+every historical warning.
+
+  --baseline FILE      committed suppression set (default: next to script)
+  --update-baseline    rewrite the baseline from the current findings
+  --skip-if-missing    exit 0 with a notice when clang-tidy is unavailable
+                       (the ctest entry uses this so environments without
+                       the binary — containers, minimal CI runners — skip
+                       instead of erroring)
+
+The baseline keys deliberately exclude line numbers: unrelated edits above
+a baselined diagnostic must not resurrect it.
 """
 
 from __future__ import annotations
@@ -14,17 +26,88 @@ import argparse
 import concurrent.futures
 import json
 import os
+import re
+import shutil
 import subprocess
 import sys
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<kind>warning|error): (?P<message>.*?)"
+    r"(?: \[(?P<check>[\w\-.,]+)\])?$"
+)
+
+
+def default_baseline_path() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "clang_tidy_baseline.json")
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError:
+        return set()
+    return {(e["file"], e["check"], e["message"]) for e in data.get("findings", [])}
+
+
+def save_baseline(path: str, keys: set[tuple[str, str, str]]) -> None:
+    findings = [{"file": f, "check": c, "message": m}
+                for f, c, m in sorted(keys)]
+    payload = {
+        "_comment": [
+            "Committed clang-tidy suppression baseline.",
+            "Keys are (file, check, message) — line numbers excluded so edits",
+            "above a baselined diagnostic do not resurrect it.  Regenerate",
+            "with: tools/lint/run_clang_tidy.py src -p build --update-baseline",
+        ],
+        "findings": findings,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def parse_diagnostics(output: str, repo_root: str) -> list[tuple[str, str, str, str]]:
+    """(file, check, message, raw-line) per diagnostic line."""
+    out = []
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        try:
+            rel = os.path.relpath(m.group("path"), repo_root).replace(os.sep, "/")
+        except ValueError:
+            rel = m.group("path")
+        out.append((rel, m.group("check") or m.group("kind"),
+                    m.group("message"), line))
+    return out
 
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(prog="run_clang_tidy")
     parser.add_argument("roots", nargs="+", help="source roots to lint (e.g. src/)")
-    parser.add_argument("-p", dest="build_dir", required=True, help="build dir with compile_commands.json")
-    parser.add_argument("--clang-tidy", default="clang-tidy", help="clang-tidy executable")
+    parser.add_argument("-p", dest="build_dir", required=True,
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy executable")
     parser.add_argument("-j", dest="jobs", type=int, default=os.cpu_count() or 4)
+    parser.add_argument("--baseline", default=default_baseline_path(),
+                        help="committed suppression baseline (JSON)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current findings")
+    parser.add_argument("--skip-if-missing", action="store_true",
+                        help="exit 0 when the clang-tidy binary is unavailable")
     args = parser.parse_args(argv)
+
+    if shutil.which(args.clang_tidy) is None:
+        msg = f"run_clang_tidy: {args.clang_tidy} not found"
+        if args.skip_if_missing:
+            print(f"{msg} — skipping (baseline gate runs where the binary exists)")
+            return 0
+        print(msg, file=sys.stderr)
+        return 2
 
     db_path = os.path.join(args.build_dir, "compile_commands.json")
     try:
@@ -34,6 +117,8 @@ def main(argv: list[str]) -> int:
         print(f"run_clang_tidy: cannot read {db_path}: {e}", file=sys.stderr)
         return 2
 
+    repo_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
     roots = tuple(os.path.abspath(r) + os.sep for r in args.roots)
     files = sorted(
         {
@@ -52,26 +137,51 @@ def main(argv: list[str]) -> int:
             capture_output=True,
             text=True,
         )
-        out = proc.stdout.strip()
-        # clang-tidy exits 0 even with warnings unless -warnings-as-errors;
-        # treat any diagnostic line as a failure.
-        has_diag = any(": warning:" in line or ": error:" in line for line in out.splitlines())
-        return path, (1 if (proc.returncode != 0 or has_diag) else 0), out + (
+        return path, proc.returncode, proc.stdout.strip() + (
             "\n" + proc.stderr.strip() if proc.returncode != 0 else ""
         )
 
-    failures = 0
+    baseline = load_baseline(args.baseline)
+    current: set[tuple[str, str, str]] = set()
+    new_lines: list[str] = []
+    hard_failures = 0
+    suppressed = 0
     with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
-        for path, status, output in pool.map(tidy_one, files):
-            if status:
-                failures += 1
-                rel = os.path.relpath(path)
-                print(f"--- clang-tidy: {rel}")
+        for path, returncode, output in pool.map(tidy_one, files):
+            if returncode != 0:
+                hard_failures += 1
+                print(f"--- clang-tidy failed: {os.path.relpath(path)}")
                 print(output)
-    if failures:
-        print(f"run_clang_tidy: {failures}/{len(files)} files with diagnostics")
+                continue
+            for rel, check, message, raw in parse_diagnostics(output, repo_root):
+                key = (rel, check, message)
+                current.add(key)
+                if key in baseline:
+                    suppressed += 1
+                else:
+                    new_lines.append(raw)
+
+    if args.update_baseline:
+        save_baseline(args.baseline, current)
+        print(f"run_clang_tidy: baseline updated — {len(current)} finding(s) "
+              f"written to {os.path.relpath(args.baseline)}")
+        return 1 if hard_failures else 0
+
+    if new_lines:
+        print(f"--- clang-tidy: {len(new_lines)} new finding(s) "
+              "(not in the committed baseline)")
+        for line in new_lines:
+            print(line)
+    stale = len(baseline - current)
+    if stale:
+        print(f"run_clang_tidy: note — {stale} baselined finding(s) no longer "
+              "fire; consider --update-baseline to ratchet down")
+    if new_lines or hard_failures:
+        print(f"run_clang_tidy: {len(new_lines)} new finding(s), "
+              f"{hard_failures} failed invocation(s) across {len(files)} files")
         return 1
-    print(f"run_clang_tidy: clean ({len(files)} files)")
+    print(f"run_clang_tidy: clean ({len(files)} files, "
+          f"{suppressed} baselined finding(s) suppressed)")
     return 0
 
 
